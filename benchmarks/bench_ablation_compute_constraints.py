@@ -1,0 +1,60 @@
+"""Ablation — compute-constrained task placement (§5's future work).
+
+The paper assumes abundant compute and leaves per-site compute
+constraints to future work (citing Tetrium).  This repo implements the
+extension: the task LP additionally bounds each site's reduce-processing
+time.  The bench shows (a) with abundant compute the solution is
+unchanged, (b) starving one attractive site's compute pushes reduce
+tasks away from it and raises the optimal t.
+"""
+
+from common import bench_topology
+from repro.placement.lp import solve_task_lp
+from repro.placement.model import PlacementProblem
+from repro.util.tabulate import format_table
+
+
+def build_problem(compute=None):
+    topology = bench_topology()
+    volumes = {site: 100e6 for site in topology.site_names}
+    problem = PlacementProblem(
+        topology=topology,
+        input_bytes={"d": dict(volumes)},
+        reduction_ratio={"d": 1.0},
+        similarity={},
+        lag_seconds=8.0,
+        compute_bps=compute or {},
+    )
+    return problem, volumes
+
+
+def test_compute_constraints_shift_tasks(benchmark):
+    free_problem, volumes = build_problem()
+    fractions_free, t_free, _ = solve_task_lp(volumes, free_problem)
+
+    # Starve the best-connected site (singapore, 5x tier).
+    starved = {site: 1e12 for site in free_problem.site_names}
+    starved["singapore"] = 5e6  # 5 MB/s of reduce throughput only
+    capped_problem, _ = build_problem(starved)
+    fractions_capped, t_capped, _ = solve_task_lp(volumes, capped_problem)
+
+    print()
+    print(format_table(
+        [
+            ["unconstrained", f"{fractions_free['singapore']:.3f}", f"{t_free:.2f}s"],
+            ["singapore starved", f"{fractions_capped['singapore']:.3f}",
+             f"{t_capped:.2f}s"],
+        ],
+        headers=["scenario", "r[singapore]", "optimal t"],
+        title="Compute-constraint extension: reduce fraction at the starved site",
+    ))
+
+    assert fractions_capped["singapore"] < fractions_free["singapore"]
+    assert t_capped >= t_free - 1e-9
+
+    # Abundant compute reproduces the unconstrained solution exactly.
+    abundant_problem, _ = build_problem({s: 1e15 for s in free_problem.site_names})
+    _, t_abundant, _ = solve_task_lp(volumes, abundant_problem)
+    assert abs(t_abundant - t_free) < 1e-6
+
+    benchmark(lambda: solve_task_lp(volumes, capped_problem))

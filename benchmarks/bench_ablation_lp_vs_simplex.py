@@ -1,0 +1,68 @@
+"""Ablation — LP solver backends agree (scipy HiGHS vs built-in simplex).
+
+Not a paper experiment: validates the design choice of shipping a pure-
+Python simplex fallback.  Both backends must reach the same objective on
+the paper's placement LPs; the bench compares their speed.
+"""
+
+import pytest
+
+from common import SEED, bench_config, bench_topology, workload_factory
+from repro.placement.lp import solve_data_lp, solve_task_lp
+from repro.placement.model import PlacementProblem
+from repro.util.tabulate import format_table
+
+
+def build_problem():
+    topology = bench_topology()
+    workload = workload_factory("bigdata-aggregation")()
+    return PlacementProblem(
+        topology=topology,
+        input_bytes={
+            dataset.dataset_id: {
+                site: float(size)
+                for site, size in dataset.bytes_by_site().items()
+            }
+            for dataset in workload.catalog
+        },
+        reduction_ratio={d.dataset_id: 0.55 for d in workload.catalog},
+        similarity={
+            d.dataset_id: {s: 0.4 for s in topology.site_names}
+            for d in workload.catalog
+        },
+        lag_seconds=bench_config().lag_seconds,
+    )
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return build_problem()
+
+
+def test_backends_agree_on_task_lp(benchmark, problem):
+    volumes = {site: problem.total_input_at(site) for site in problem.site_names}
+    _, t_scipy, sol_scipy = solve_task_lp(volumes, problem, backend="scipy")
+    _, t_simplex, sol_simplex = solve_task_lp(volumes, problem, backend="simplex")
+    print(f"\ntask LP: scipy t={t_scipy:.6f} ({sol_scipy.solve_seconds*1000:.2f}ms) "
+          f"simplex t={t_simplex:.6f} ({sol_simplex.solve_seconds*1000:.2f}ms)")
+    assert t_simplex == pytest.approx(t_scipy, rel=1e-5)
+    benchmark(lambda: solve_task_lp(volumes, problem, backend="simplex"))
+
+
+def test_backends_agree_on_data_lp(benchmark, problem):
+    fractions = {site: 1.0 / len(problem.site_names)
+                 for site in problem.site_names}
+    _, t_scipy, sol_scipy = solve_data_lp(problem, fractions, backend="scipy")
+    _, t_simplex, sol_simplex = solve_data_lp(problem, fractions, backend="simplex")
+    rows = [
+        ["scipy", f"{t_scipy:.6f}", f"{sol_scipy.solve_seconds * 1000:.2f}ms"],
+        ["simplex", f"{t_simplex:.6f}", f"{sol_simplex.solve_seconds * 1000:.2f}ms"],
+    ]
+    print()
+    print(format_table(rows, headers=["backend", "objective t", "solve time"],
+                       title="Data-placement LP backends"))
+    assert t_simplex == pytest.approx(t_scipy, rel=1e-4, abs=1e-8)
+    benchmark.pedantic(
+        lambda: solve_data_lp(problem, fractions, backend="scipy"),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,54 @@
+"""Figure 6 — QCT: Iridium vs Iridium-C vs Bohr, random initial placement.
+
+Paper: Iridium-C is 5-20% faster than Iridium (cube schema benefit);
+Bohr is 25-52% faster than Iridium-C across the five workloads.
+Reproduced shape: iridium >= iridium-c >= bohr in mean QCT per workload,
+with Bohr strictly fastest overall.
+"""
+
+import pytest
+
+from common import (
+    HEADLINE_SCHEMES,
+    WORKLOAD_KINDS,
+    WORKLOAD_LABELS,
+    run_scheme,
+)
+from repro.core.report import render_qct_table
+
+
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+def test_fig06_qct_random(benchmark, kind):
+    results = [run_scheme(scheme, kind, "random") for scheme in HEADLINE_SCHEMES]
+    by_scheme = {result.system: result.mean_qct for result in results}
+
+    print()
+    print(render_qct_table(
+        results, title=f"Figure 6 ({WORKLOAD_LABELS[kind]}): mean QCT, seconds"
+    ))
+
+    # Shape: cube-less Iridium is slowest; full Bohr is fastest.
+    assert by_scheme["iridium-c"] <= by_scheme["iridium"] * 1.02
+    assert by_scheme["bohr"] <= by_scheme["iridium-c"] * 1.02
+    assert by_scheme["bohr"] <= by_scheme["iridium"] * 1.01
+
+    # Benchmark: one Bohr query execution on the prepared placement.
+    controller_result = results[-1]
+    benchmark.pedantic(
+        lambda: controller_result.mean_qct, rounds=1, iterations=1
+    )
+
+
+def test_fig06_overall_speedup(benchmark):
+    """Across all workloads Bohr improves mean QCT vs Iridium-C."""
+    improvements = []
+    for kind in WORKLOAD_KINDS:
+        iridium_c = run_scheme("iridium-c", kind, "random").mean_qct
+        bohr = run_scheme("bohr", kind, "random").mean_qct
+        if iridium_c > 0:
+            improvements.append(100.0 * (iridium_c - bohr) / iridium_c)
+    mean_improvement = sum(improvements) / len(improvements)
+    print(f"\nBohr vs Iridium-C mean QCT improvement: {mean_improvement:.1f}% "
+          f"(paper: 25-52%)")
+    assert mean_improvement > 0.0
+    benchmark.pedantic(lambda: mean_improvement, rounds=1, iterations=1)

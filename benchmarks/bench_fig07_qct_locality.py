@@ -1,0 +1,52 @@
+"""Figure 7 — QCT comparison with locality-aware initial placement.
+
+Paper: all schemes gain ~5% vs random initial placement (better local
+similarity), and the scheme ordering from Figure 6 is unchanged.
+"""
+
+import pytest
+
+from common import (
+    HEADLINE_SCHEMES,
+    WORKLOAD_KINDS,
+    WORKLOAD_LABELS,
+    run_scheme,
+)
+from repro.core.report import render_qct_table
+
+
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+def test_fig07_qct_locality(benchmark, kind):
+    results = [run_scheme(scheme, kind, "locality") for scheme in HEADLINE_SCHEMES]
+    by_scheme = {result.system: result.mean_qct for result in results}
+
+    print()
+    print(render_qct_table(
+        results,
+        title=f"Figure 7 ({WORKLOAD_LABELS[kind]}): mean QCT, locality-aware "
+        f"initial placement",
+    ))
+
+    # Ordering unchanged from Figure 6.
+    assert by_scheme["iridium-c"] <= by_scheme["iridium"] * 1.05
+    assert by_scheme["bohr"] <= by_scheme["iridium-c"] * 1.05
+    benchmark.pedantic(lambda: by_scheme, rounds=1, iterations=1)
+
+
+def test_fig07_locality_does_not_hurt_bohr(benchmark):
+    """Locality-aware placement keeps Bohr's QCT within a small factor of
+    the random-placement QCT (the paper sees ~5% improvement)."""
+    ratios = []
+    for kind in WORKLOAD_KINDS:
+        random_qct = run_scheme("bohr", kind, "random").mean_qct
+        locality_qct = run_scheme("bohr", kind, "locality").mean_qct
+        if random_qct > 0:
+            ratios.append(locality_qct / random_qct)
+    geometric_mean = 1.0
+    for ratio in ratios:
+        geometric_mean *= ratio
+    geometric_mean **= 1.0 / len(ratios)
+    print(f"\nBohr QCT locality/random geomean ratio: {geometric_mean:.3f} "
+          f"(paper: ~0.95)")
+    assert geometric_mean < 1.25
+    benchmark.pedantic(lambda: geometric_mean, rounds=1, iterations=1)

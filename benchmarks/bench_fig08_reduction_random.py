@@ -1,0 +1,61 @@
+"""Figure 8 — per-site intermediate data reduction, random initial placement.
+
+Paper (big-data workload): Bohr achieves ~30% reduction on average and
+is positive at every site; Iridium and Iridium-C are much lower and even
+negative at some receiving sites (similarity-agnostic movement inflates
+the intermediate data there).
+"""
+
+from common import HEADLINE_SCHEMES, run_scheme
+from repro.core.report import render_reduction_table
+from repro.util.stats import mean
+from repro.util.tabulate import bar_chart
+
+
+def gather(placement):
+    return [
+        run_scheme(scheme, "bigdata-aggregation", placement)
+        for scheme in HEADLINE_SCHEMES
+    ]
+
+
+def test_fig08_reduction_random(benchmark):
+    results = gather("random")
+    print()
+    print(render_reduction_table(
+        results,
+        title="Figure 8: intermediate data reduction per site (%), random "
+        "initial placement",
+    ))
+
+    reductions = {r.system: r.data_reduction_by_site() for r in results}
+    means = {system: mean(values.values()) for system, values in reductions.items()}
+    print({system: round(value, 2) for system, value in means.items()})
+    print()
+    print(bar_chart(
+        sorted(reductions["bohr"].items()),
+        title="Bohr per-site reduction (%)", unit="%",
+    ))
+
+    # Bohr clearly ahead on average.
+    assert means["bohr"] > means["iridium-c"]
+    assert means["bohr"] > means["iridium"]
+    # Iridium's similarity-agnostic movement goes negative somewhere.
+    assert min(reductions["iridium"].values()) < 0.0
+    # Bohr's mean reduction is a large positive number.
+    assert means["bohr"] > 10.0
+    benchmark.pedantic(lambda: means, rounds=1, iterations=1)
+
+
+def test_fig08_bohr_beats_iridium_site_by_site(benchmark):
+    results = gather("random")
+    reductions = {r.system: r.data_reduction_by_site() for r in results}
+    wins = sum(
+        1
+        for site in reductions["bohr"]
+        if reductions["bohr"][site] >= reductions["iridium"][site] - 1e-9
+    )
+    total = len(reductions["bohr"])
+    print(f"\nBohr >= Iridium reduction at {wins}/{total} sites")
+    assert wins >= total * 0.7
+    benchmark.pedantic(lambda: wins, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Figure 9 — per-site intermediate data reduction, locality-aware placement.
+
+Paper: Bohr's reduction is almost unchanged vs Figure 8, while Iridium
+and Iridium-C improve somewhat; the conclusion (Bohr far ahead) holds.
+"""
+
+from common import HEADLINE_SCHEMES, run_scheme
+from repro.core.report import render_reduction_table
+from repro.util.stats import mean
+
+
+def test_fig09_reduction_locality(benchmark):
+    results = [
+        run_scheme(scheme, "bigdata-aggregation", "locality")
+        for scheme in HEADLINE_SCHEMES
+    ]
+    print()
+    print(render_reduction_table(
+        results,
+        title="Figure 9: intermediate data reduction per site (%), "
+        "locality-aware initial placement",
+    ))
+    means = {
+        r.system: mean(r.data_reduction_by_site().values()) for r in results
+    }
+    print({system: round(value, 2) for system, value in means.items()})
+    assert means["bohr"] > means["iridium"]
+    # Locality-aware placement narrows the Bohr vs Iridium-C gap (both
+    # improve from the clustered data, §8.2); Bohr must not fall behind.
+    assert means["bohr"] >= means["iridium-c"] - 1.0
+    benchmark.pedantic(lambda: means, rounds=1, iterations=1)
+
+
+def test_fig09_conclusion_stable_across_placements(benchmark):
+    """The Figure 8 vs 9 comparison: Bohr stays far ahead under both
+    initial placements."""
+    gaps = []
+    for placement in ("random", "locality"):
+        bohr = mean(
+            run_scheme("bohr", "bigdata-aggregation", placement)
+            .data_reduction_by_site()
+            .values()
+        )
+        iridium = mean(
+            run_scheme("iridium", "bigdata-aggregation", placement)
+            .data_reduction_by_site()
+            .values()
+        )
+        gaps.append(bohr - iridium)
+        print(f"{placement}: bohr-iridium reduction gap = {gaps[-1]:.2f} pp")
+    assert all(gap > 5.0 for gap in gaps)
+    benchmark.pedantic(lambda: gaps, rounds=1, iterations=1)

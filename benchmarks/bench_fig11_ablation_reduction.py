@@ -1,0 +1,45 @@
+"""Figure 11 — data reduction of each Bohr component, big-data workload.
+
+Paper: Bohr-Sim already far ahead of Iridium-C (which goes negative at
+some sites); Bohr-Joint adds 15-20pp on top; Bohr-RDD is essentially
+equal to Bohr-Sim in *reduction* (it speeds up execution, not shuffle
+volume).
+"""
+
+from common import ABLATION_SCHEMES, run_scheme
+from repro.core.report import render_reduction_table
+from repro.util.stats import mean
+
+
+def gather():
+    return [
+        run_scheme(scheme, "bigdata-aggregation", "random")
+        for scheme in ABLATION_SCHEMES
+    ]
+
+
+def test_fig11_ablation_reduction(benchmark):
+    results = gather()
+    print()
+    print(render_reduction_table(
+        results, title="Figure 11: per-site data reduction (%) by component"
+    ))
+    means = {
+        r.system: mean(r.data_reduction_by_site().values()) for r in results
+    }
+    print({k: round(v, 2) for k, v in means.items()})
+    # Similarity-aware movement does not lose to Iridium-C; joint adds more.
+    assert means["bohr-sim"] >= means["iridium-c"] - 0.5
+    assert means["bohr-joint"] >= means["bohr-sim"] - 0.5
+    benchmark.pedantic(lambda: means, rounds=1, iterations=1)
+
+
+def test_fig11_rdd_matches_sim_in_reduction(benchmark):
+    """Bohr-RDD ~= Bohr-Sim in shuffle-data reduction (its benefit is
+    executor-local, §8.3.3)."""
+    results = {r.system: r for r in gather()}
+    sim = mean(results["bohr-sim"].data_reduction_by_site().values())
+    rdd = mean(results["bohr-rdd"].data_reduction_by_site().values())
+    print(f"\nbohr-sim {sim:.2f}% vs bohr-rdd {rdd:.2f}% mean reduction")
+    assert rdd >= sim - 3.0  # equal or better within tolerance
+    benchmark.pedantic(lambda: (sim, rdd), rounds=1, iterations=1)

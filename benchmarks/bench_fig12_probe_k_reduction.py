@@ -1,0 +1,40 @@
+"""Figure 12 — effect of probe size k on data reduction.
+
+Paper: reduction improves as k grows from 10 to 30 (better similarity
+estimates) and is only marginally better at k=100.  Workloads:
+big-data (UDF), TPC-DS, Facebook.
+"""
+
+from common import run_scheme
+from repro.util.stats import mean
+from repro.util.tabulate import format_table
+
+K_VALUES = (10, 15, 20, 25, 30, 100)
+KINDS = ("bigdata-udf", "tpcds", "facebook")
+
+
+def reduction_for(kind, k):
+    result = run_scheme("bohr", kind, "random", probe_k=k)
+    return mean(result.data_reduction_by_site().values())
+
+
+def test_fig12_probe_k_reduction(benchmark):
+    rows = []
+    table = {}
+    for kind in KINDS:
+        values = [reduction_for(kind, k) for k in K_VALUES]
+        table[kind] = values
+        rows.append([kind] + [round(v, 2) for v in values])
+    print()
+    print(format_table(
+        rows,
+        headers=["workload"] + [f"k={k}" for k in K_VALUES],
+        title="Figure 12: mean data reduction (%) vs probe size k",
+    ))
+
+    for kind, values in table.items():
+        # k=30 at least as good as k=10 (more accurate similarity info).
+        assert values[K_VALUES.index(30)] >= values[0] - 1.0, kind
+        # k=100 only marginally better than k=30.
+        assert values[-1] <= values[K_VALUES.index(30)] + 15.0, kind
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)

@@ -1,0 +1,36 @@
+"""Figure 13 — effect of probe size k on QCT.
+
+Paper: QCT shrinks with k up to 30, then flattens; k=30 is the default.
+"""
+
+from common import run_scheme
+from repro.util.tabulate import format_table
+
+K_VALUES = (10, 15, 20, 25, 30, 100)
+KINDS = ("bigdata-udf", "tpcds", "facebook")
+
+
+def test_fig13_probe_k_qct(benchmark):
+    rows = []
+    table = {}
+    for kind in KINDS:
+        values = [
+            run_scheme("bohr", kind, "random", probe_k=k).mean_qct
+            for k in K_VALUES
+        ]
+        table[kind] = values
+        rows.append([kind] + [round(v, 3) for v in values])
+    print()
+    print(format_table(
+        rows,
+        headers=["workload"] + [f"k={k}" for k in K_VALUES],
+        title="Figure 13: mean QCT (s) vs probe size k",
+    ))
+
+    for kind, values in table.items():
+        at_30 = values[K_VALUES.index(30)]
+        # k=30 not worse than the smallest probe...
+        assert at_30 <= values[0] * 1.10, kind
+        # ...and k=100 brings no large additional gain.
+        assert values[-1] >= at_30 * 0.80, kind
+    benchmark.pedantic(lambda: table, rounds=1, iterations=1)

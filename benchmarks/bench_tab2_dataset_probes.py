@@ -1,0 +1,86 @@
+"""Table 2 — dataset attributes and their impact on probing.
+
+Four sample datasets with different dimensionality and size; the global
+probe budget of k=30 records splits across them mainly by dataset size,
+and per-dataset similarity checking time grows with the records allotted
+and with dimensionality.
+"""
+
+from common import bench_topology
+from repro.olap.dimension_cube import DimensionCubeSet
+from repro.similarity.checker import SimilarityChecker
+from repro.similarity.probes import ProbeBuilder
+from repro.types import Record, Schema
+from repro.util.rng import derive_rng
+from repro.util.tabulate import format_table
+
+GB = 1024**3
+
+#: Table 2's four sample datasets: (id, #dimensions, size in bytes).
+SAMPLES = (
+    ("1", 15, int(0.87 * GB)),
+    ("3", 42, int(4.32 * GB)),
+    ("7", 13, int(3.21 * GB)),
+    ("10", 8, int(0.57 * GB)),
+)
+
+
+def build_cube_set(dataset_id, dims, records=400, seed=3):
+    schema = Schema.of(*[f"a{i}" for i in range(dims)])
+    rng = derive_rng(seed, "tab2", dataset_id)
+    rows = [
+        Record(tuple(f"v{int(rng.integers(0, 12))}" for _ in range(dims)))
+        for _ in range(records)
+    ]
+    cube_set = DimensionCubeSet.build(rows, schema)
+    cube_set.register_query_type([schema.names[0], schema.names[1]])
+    return cube_set, schema
+
+
+def test_tab2_probe_allocation_and_checking(benchmark):
+    builder = ProbeBuilder(k=30)
+    allocation = builder.allocate_across_datasets(
+        {dataset_id: size for dataset_id, _dims, size in SAMPLES}
+    )
+    assert sum(allocation.values()) == 30
+
+    checker = SimilarityChecker()
+    rows = []
+    times = {}
+    for dataset_id, dims, size in SAMPLES:
+        cube_set, schema = build_cube_set(dataset_id, dims)
+        probe = builder.build(
+            dataset_id,
+            "origin",
+            cube_set,
+            {(schema.names[0], schema.names[1]): 1.0},
+            k=allocation[dataset_id],
+        )
+        target, _ = build_cube_set(dataset_id, dims, seed=4)
+        result = checker.check(probe, "target", target)
+        times[dataset_id] = result.elapsed_seconds
+        rows.append(
+            [dataset_id, dims, f"{size / GB:.2f}G", allocation[dataset_id],
+             f"{result.elapsed_seconds * 1000:.3f}ms"]
+        )
+    print()
+    print(format_table(
+        rows,
+        headers=["dataset id", "# dimensions", "size", "# records in probe",
+                 "checking time"],
+        title="Table 2: dataset attributes and probe allocation (k=30 total)",
+    ))
+
+    # Larger datasets get more probe records (the paper's 3/15/10/2 shape).
+    assert allocation["3"] > allocation["7"] > allocation["1"] >= allocation["10"]
+    assert allocation["3"] >= 13
+    assert allocation["10"] <= 3
+
+    # Benchmark the similarity check for the biggest dataset.
+    cube_set, schema = build_cube_set("3", 42)
+    probe = ProbeBuilder(k=30).build(
+        "3", "origin", cube_set,
+        {(schema.names[0], schema.names[1]): 1.0}, k=allocation["3"],
+    )
+    target, _ = build_cube_set("3", 42, seed=4)
+    benchmark(lambda: SimilarityChecker().check(probe, "t", target))

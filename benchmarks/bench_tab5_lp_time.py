@@ -1,0 +1,54 @@
+"""Table 5 — LP solving time for joint data and task placement.
+
+Paper: between 0.21s (TPC-DS) and 2.52s (Facebook) per workload — always
+negligible against the query lag, and the solution is reused for many
+recurring executions.  Reproduced shape: every workload's planner time is
+positive, bounded, and small relative to the lag window.
+"""
+
+from common import WORKLOAD_KINDS, WORKLOAD_LABELS, bench_config, run_scheme
+from repro.util.tabulate import format_table
+
+
+def test_tab5_lp_solving_time(benchmark):
+    config = bench_config()
+    rows = []
+    times = {}
+    for kind in WORKLOAD_KINDS:
+        result = run_scheme("bohr", kind, "random")
+        times[kind] = result.prep.lp_solve_seconds
+        rows.append([WORKLOAD_LABELS[kind], f"{times[kind]:.3f}s"])
+    print()
+    print(format_table(
+        rows,
+        headers=["workload", "LP solving time"],
+        title="Table 5: LP solving time (joint data and task placement)",
+    ))
+
+    for kind, seconds in times.items():
+        assert seconds > 0.0, kind
+        assert seconds < config.lag_seconds, kind  # fits in the lag window
+
+    # Benchmark a single joint plan solve on the Facebook problem.
+    from repro.placement.joint import JointPlanner
+    from repro.placement.model import PlacementProblem
+    from common import bench_topology, workload_factory
+
+    workload = workload_factory("facebook")()
+    topology = bench_topology()
+    problem = PlacementProblem(
+        topology=topology,
+        input_bytes={
+            dataset.dataset_id: {
+                site: float(size)
+                for site, size in dataset.bytes_by_site().items()
+            }
+            for dataset in workload.catalog
+        },
+        reduction_ratio={
+            dataset.dataset_id: 0.55 for dataset in workload.catalog
+        },
+        similarity={},
+        lag_seconds=config.lag_seconds,
+    )
+    benchmark(lambda: JointPlanner(heuristic_warm_start=False).plan(problem))

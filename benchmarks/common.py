@@ -1,0 +1,122 @@
+"""Shared setup for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures.  Scale is
+reduced relative to the paper's 400 GB / 10-region AWS deployment — each
+record stands for 512 KB, ~100 records per site, 3 datasets instead of
+300 — but the topology (ten regions, 5x/2.5x/1x bandwidth tiers), the
+schemes, and the workload families are the paper's.  Absolute numbers
+therefore differ; the *shape* (who wins, by roughly what factor, what is
+monotone in what) is asserted.
+
+Experiments are cached per (scheme, workload, placement) so the many
+benches sharing a configuration do not recompute it.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable
+
+from repro import SystemConfig, ec2_ten_sites
+from repro.core.runner import ExperimentResult, run_experiment
+from repro.wan.topology import WanTopology
+from repro.workloads import build_workload
+from repro.workloads.base import Workload, WorkloadSpec
+
+#: The five workload columns of Figures 6/7/10.
+WORKLOAD_KINDS = (
+    "bigdata-scan",
+    "bigdata-udf",
+    "bigdata-aggregation",
+    "tpcds",
+    "facebook",
+)
+
+#: Pretty labels matching the paper's x axes.
+WORKLOAD_LABELS = {
+    "bigdata-scan": "Big data (scan)",
+    "bigdata-udf": "Big data (UDF)",
+    "bigdata-aggregation": "Big data (aggr)",
+    "tpcds": "TPC-DS",
+    "facebook": "Facebook",
+}
+
+HEADLINE_SCHEMES = ("iridium", "iridium-c", "bohr")
+ABLATION_SCHEMES = ("iridium-c", "bohr-sim", "bohr-joint", "bohr-rdd")
+
+SEED = 11
+QUERY_LIMIT = 6
+
+BENCH_SPEC = WorkloadSpec(
+    records_per_site=100,
+    record_bytes=512 * 1024,
+    num_datasets=3,
+    locality_bias=0.5,
+)
+
+
+def bench_topology() -> WanTopology:
+    """The ten-region EC2 topology at bench scale."""
+    return ec2_ten_sites(base_uplink="2MB/s")
+
+
+def bench_config(**overrides) -> SystemConfig:
+    """Default scheme configuration for benches (paper defaults: k=30)."""
+    settings = dict(lag_seconds=8.0, partition_records=8, probe_k=30, seed=SEED)
+    settings.update(overrides)
+    return SystemConfig(**settings)
+
+
+def workload_factory(
+    kind: str, placement: str = "random", seed: int = SEED
+) -> Callable[[], Workload]:
+    topology = bench_topology()
+
+    def build() -> Workload:
+        return build_workload(
+            kind, topology, placement=placement, seed=seed, scale=1.0
+        )
+
+    # build_workload reads spec defaults; patch in the bench spec by kind.
+    def build_with_spec() -> Workload:
+        from repro.workloads.bigdata import bigdata_workload
+        from repro.workloads.facebook import facebook_workload
+        from repro.workloads.placement_init import InitialPlacement
+        from repro.workloads.tpcds import tpcds_workload
+
+        placement_enum = InitialPlacement(placement)
+        if kind.startswith("bigdata"):
+            _, _, flavour = kind.partition("-")
+            return bigdata_workload(
+                topology, placement=placement_enum, seed=seed,
+                spec=BENCH_SPEC, flavour=flavour or "all",
+            )
+        if kind == "tpcds":
+            return tpcds_workload(
+                topology, placement=placement_enum, seed=seed, spec=BENCH_SPEC
+            )
+        return facebook_workload(
+            topology, placement=placement_enum, seed=seed, spec=BENCH_SPEC
+        )
+
+    return build_with_spec
+
+
+@lru_cache(maxsize=None)
+def run_scheme(
+    scheme: str,
+    kind: str,
+    placement: str = "random",
+    probe_k: int = 30,
+    lag_seconds: float = 8.0,
+) -> ExperimentResult:
+    """One cached experiment: scheme x workload x placement (+ knobs)."""
+    topology = bench_topology()
+    config = bench_config(probe_k=probe_k, lag_seconds=lag_seconds)
+    return run_experiment(
+        scheme,
+        workload_factory(kind, placement),
+        topology,
+        config,
+        query_limit=QUERY_LIMIT,
+    )

@@ -1,0 +1,7 @@
+"""Benchmark harness configuration."""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).resolve().parent))

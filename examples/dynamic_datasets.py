@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Highly dynamic datasets (§8.6 / Table 7).
+
+Splits the Facebook-trace workload into a 25% initial slice plus batches
+arriving between queries (the paper's 10 GB + 2 GB/20 s shape), runs the
+dynamic protocol — pre-process each batch, transfer per the current
+placement, re-plan every five queries — and compares the mean QCT
+against the same scheme on the fully-loaded ("normal") dataset.
+
+Run:  python examples/dynamic_datasets.py
+"""
+
+from repro import SystemConfig, ec2_ten_sites, make_system
+from repro.core.dynamic import initial_workload_from_feeds, run_dynamic
+from repro.util.stats import mean
+from repro.util.units import format_seconds
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.dynamic import DynamicDataFeed
+from repro.workloads.facebook import facebook_workload
+
+
+def build_template(topology):
+    return facebook_workload(
+        topology,
+        seed=31,
+        spec=WorkloadSpec(records_per_site=48, record_bytes=256 * 1024,
+                          num_datasets=2),
+    )
+
+
+def main() -> None:
+    topology = ec2_ten_sites(base_uplink="2MB/s")
+    config = SystemConfig(lag_seconds=8.0)
+
+    # --- dynamic setting -------------------------------------------------
+    template = build_template(topology)
+    feeds = {
+        dataset.dataset_id: DynamicDataFeed.split(
+            dataset, initial_fraction=0.25, num_batches=15, interval_seconds=20.0
+        )
+        for dataset in template.catalog
+    }
+    workload = initial_workload_from_feeds(template, feeds)
+    controller = make_system("bohr", topology, config)
+    dynamic = run_dynamic(
+        controller, workload, feeds, num_queries=10, replan_every=5
+    )
+    print(
+        f"dynamic:  mean QCT {format_seconds(dynamic.mean_qct)} over "
+        f"{len(dynamic.qcts)} queries, {dynamic.batches_applied} batches "
+        f"ingested, {dynamic.replans} plans"
+    )
+
+    # --- normal setting ---------------------------------------------------
+    normal_workload = build_template(topology)
+    normal = make_system("bohr", topology, config)
+    normal.prepare(normal_workload)
+    runs = [normal.run_query(normal_workload, q) for q in normal_workload.queries[:10]]
+    normal_mean = mean(r.qct for r in runs)
+    print(f"normal:   mean QCT {format_seconds(normal_mean)} over {len(runs)} queries")
+    print()
+    gap = 100.0 * (dynamic.mean_qct - normal_mean) / normal_mean if normal_mean else 0.0
+    print(
+        f"Table 7's conclusion: dynamic vs normal differ by {gap:+.1f}% — "
+        "pre-processing new batches in the query lag keeps dynamic QCT "
+        "close to the static setting."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""The paper's motivating example (Figure 1), executed for real.
+
+Two sites — Oregon and Tokyo — hold page-score logs keyed by URL; Tokyo
+is the bottleneck.  We execute the page-rank-style aggregation three
+ways on the actual engine:
+
+  (a) in place,
+  (b) moving one record chosen similarity-agnostically (Url-B), and
+  (c) moving the similar record (Url-A),
+
+and show the intermediate record counts 4 / 5 / 3 from the paper emerge
+from the combiner, plus the resulting per-URL scores.
+
+Run:  python examples/pagerank_motivating.py
+"""
+
+from repro import GeoDataset, MapReduceEngine, MapReduceSpec, Record, Schema, Site, WanTopology
+from repro.query.pagerank import pagerank_scores_from_records
+
+SCHEMA = Schema.of("url", "score", kinds={"score": "numeric"})
+
+
+def build_dataset() -> GeoDataset:
+    dataset = GeoDataset("logs", SCHEMA)
+    # Figure 1: bottleneck Tokyo holds Url-A, Url-B x2, Url-C;
+    # Oregon holds Url-A x3.
+    dataset.add_records(
+        "tokyo",
+        [
+            Record(("Url-A", 1), size_bytes=100),
+            Record(("Url-B", 1), size_bytes=100),
+            Record(("Url-B", 1), size_bytes=100),
+            Record(("Url-C", 1), size_bytes=100),
+        ],
+    )
+    dataset.add_records(
+        "oregon",
+        [
+            Record(("Url-A", 1), size_bytes=100),
+            Record(("Url-A", 1), size_bytes=100),
+            Record(("Url-A", 1), size_bytes=100),
+        ],
+    )
+    return dataset
+
+
+def move_by_url(dataset: GeoDataset, url: str) -> None:
+    record = next(r for r in dataset.shard("tokyo") if r.values[0] == url)
+    dataset.move_records("tokyo", "oregon", [record])
+
+
+def run_case(label: str, mutate=None) -> None:
+    topology = WanTopology.from_sites(
+        [
+            Site("tokyo", uplink_bps=10_000.0, downlink_bps=10_000.0,
+                 machines=1, executors_per_machine=1),
+            Site("oregon", uplink_bps=50_000.0, downlink_bps=50_000.0,
+                 machines=1, executors_per_machine=1),
+        ]
+    )
+    dataset = build_dataset()
+    if mutate:
+        mutate(dataset)
+    engine = MapReduceEngine(topology, partition_records=8)
+    result = engine.run(
+        dataset,
+        MapReduceSpec.of([0], reduction_ratio=1.0, num_reduce_tasks=2),
+        cube_sorted=True,
+    )
+    intermediate_records = sum(
+        m.intermediate_records for m in result.per_site.values()
+    )
+    print(f"{label}:")
+    for site in ("tokyo", "oregon"):
+        metrics = result.per_site[site]
+        print(
+            f"  {site:7s} input={metrics.input_records} records, "
+            f"combiner output={metrics.intermediate_records} records"
+        )
+    print(f"  total intermediate records: {intermediate_records}")
+    print(f"  QCT: {result.qct * 1000:.2f} ms")
+    scores = pagerank_scores_from_records(dataset.all_records(), SCHEMA)
+    print(f"  scores (invariant under movement): {dict(sorted(scores.items()))}")
+    print()
+
+
+def main() -> None:
+    print("Figure 1 of the paper, executed on the record-level engine.\n")
+    run_case("(a) processing in place")
+    run_case(
+        "(b) similarity agnostic: move Url-B to Oregon",
+        lambda dataset: move_by_url(dataset, "Url-B"),
+    )
+    run_case(
+        "(c) similarity aware: move Url-A to Oregon",
+        lambda dataset: move_by_url(dataset, "Url-A"),
+    )
+    print(
+        "Similarity-agnostic movement (b) INCREASED the intermediate data\n"
+        "(5 records vs 4 in place); the similarity-aware choice (c) cut it\n"
+        "to 3 — exactly the paper's motivating observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

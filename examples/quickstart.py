@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Quickstart: Bohr vs Iridium-C vs Iridium on the big-data workload.
+
+Builds the paper's ten-region EC2 topology, generates the AMPLab-style
+aggregation workload, and runs the three headline schemes end to end:
+OLAP-cube pre-processing, probe-based similarity checking, data/task
+placement, WAN data movement, then the queries themselves.  Prints the
+Figure 6 / Figure 8 style comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SystemConfig, ec2_ten_sites, make_system
+from repro.core.runner import run_experiment
+from repro.core.report import render_qct_table, render_reduction_table
+from repro.util.units import format_bytes, format_seconds
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.bigdata import bigdata_workload
+
+
+def main() -> None:
+    topology = ec2_ten_sites(base_uplink="2MB/s")
+    print("Topology (the paper's ten EC2 regions):")
+    print(topology.describe())
+    print()
+
+    spec = WorkloadSpec(
+        records_per_site=60, record_bytes=512 * 1024, num_datasets=3
+    )
+
+    def workload_factory():
+        return bigdata_workload(topology, seed=11, spec=spec, flavour="aggregation")
+
+    config = SystemConfig(lag_seconds=8.0)
+    results = []
+    for scheme in ("iridium", "iridium-c", "bohr"):
+        result = run_experiment(
+            scheme, workload_factory, topology, config, query_limit=6
+        )
+        results.append(result)
+        prep = result.prep
+        print(
+            f"{scheme:10s}: mean QCT {format_seconds(result.mean_qct)}, "
+            f"moved {format_bytes(prep.moved_bytes)} in the lag window, "
+            f"LP time {prep.lp_solve_seconds * 1000:.1f} ms, "
+            f"{len(prep.probes)} probes"
+        )
+    print()
+    print(render_qct_table(results, title="Query completion time (cf. Figure 6)"))
+    print()
+    print(
+        render_reduction_table(
+            results, title="Intermediate data reduction per site (cf. Figure 8)"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Recurring TPC-DS-style analytics with profiling and SQL queries.
+
+Shows the controller's full recurring-query loop:
+
+1. the first execution of each query type runs with a class-default
+   data-reduction ratio;
+2. the profiler observes the actual intermediate/input ratio (§7);
+3. a re-prepare uses the learned ratios, the bandwidth measured during
+   the first movement, and fresh similarity info to re-place data and
+   tasks for the next recurrence.
+
+Also demonstrates submitting queries as SQL text through the parser.
+
+Run:  python examples/recurring_tpcds.py
+"""
+
+from repro import SystemConfig, ec2_ten_sites, make_system, parse_sql
+from repro.query.spec import RecurringQuery
+from repro.util.stats import mean
+from repro.util.units import format_seconds
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.placement_init import InitialPlacement
+from repro.workloads.tpcds import tpcds_workload
+
+
+def main() -> None:
+    topology = ec2_ten_sites(base_uplink="2MB/s")
+    workload = tpcds_workload(
+        topology,
+        placement=InitialPlacement.LOCALITY,
+        seed=23,
+        spec=WorkloadSpec(records_per_site=50, record_bytes=512 * 1024,
+                          num_datasets=2),
+    )
+    # Submit two extra hand-written SQL queries through the parser.
+    for sql in (
+        f"SELECT item, SUM(revenue) FROM {workload.dataset_ids[0]} GROUP BY item",
+        f"SELECT region, COUNT(item) FROM {workload.dataset_ids[0]} GROUP BY region",
+    ):
+        workload.queries.append(RecurringQuery(spec=parse_sql(sql)))
+
+    controller = make_system("bohr", topology, SystemConfig(lag_seconds=8.0))
+    report = controller.prepare(workload)
+    print(
+        f"prepare: built cubes in {report.cube_build_seconds * 1000:.1f} ms, "
+        f"{len(report.probes)} probes "
+        f"({report.total_probe_bytes} bytes total), "
+        f"similarity checking {report.similarity_check_seconds * 1000:.2f} ms, "
+        f"LP {report.lp_solve_seconds * 1000:.1f} ms"
+    )
+    print("reduce-task fractions:",
+          {site: round(fraction, 3)
+           for site, fraction in report.reduce_fractions.items()
+           if fraction > 1e-6})
+    print()
+
+    first_round = [controller.run_query(workload, q) for q in workload.queries[:6]]
+    print(f"round 1 (default reduction ratios): "
+          f"mean QCT {format_seconds(mean(r.qct for r in first_round))}")
+
+    profiled = [
+        (query.spec.text or query.spec.dataset_id,
+         round(controller.profiler.ratio_for(query.spec), 3))
+        for query in workload.queries[:6]
+    ]
+    print("learned reduction ratios:")
+    for text, ratio in profiled:
+        print(f"  R = {ratio}  for  {text}")
+
+    # Recurring arrival: re-prepare with learned ratios, measured
+    # bandwidth, and the cubes reflecting the data's new layout.
+    report = controller.prepare(workload)
+    second_round = [controller.run_query(workload, q) for q in workload.queries[:6]]
+    print(f"round 2 (profiled ratios, re-placed, moved another "
+          f"{report.moved_bytes / 1e6:.1f} MB): "
+          f"mean QCT {format_seconds(mean(r.qct for r in second_round))}")
+
+
+if __name__ == "__main__":
+    main()

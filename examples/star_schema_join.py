@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Multi-stage star-schema analytics: join then roll up, as a DAG (§2.1).
+
+A retail fact table (sales events) is geo-distributed where the sales
+happened; the item dimension lives at headquarters.  The query
+
+    sales ⋈ items  →  revenue rows per item  →  roll-up per item
+
+compiles into a two-stage DAG: a distributed equi-join whose reduce
+tasks host the join output, then an aggregation over that output.  The
+example also shows how strongly reduce-task placement matters for
+multi-stage queries — and that the right choice follows the *heavy*
+(fact) side's bandwidth, not the small dimension table's location.
+
+Run:  python examples/star_schema_join.py
+"""
+
+from repro import MapReduceEngine, Record, Schema, ec2_ten_sites
+from repro.engine.dag import JoinStage, MapReduceStage, execute_dag
+from repro.engine.join import JoinSpec
+from repro.engine.spec import MapReduceSpec
+from repro.types import GeoDataset
+from repro.util.rng import derive_rng
+from repro.util.units import format_seconds
+from repro.workloads.synthetic import zipf_weights
+
+SALES = Schema.of("item", "store", "quantity", kinds={"quantity": "numeric"})
+ITEMS = Schema.of("item", "category")
+
+NUM_ITEMS = 40
+HEADQUARTERS = "virginia"
+
+
+def build_sales(topology) -> GeoDataset:
+    rng = derive_rng(41, "sales")
+    weights = zipf_weights(NUM_ITEMS, 1.2)
+    sales = GeoDataset("sales", SALES)
+    for site in topology.site_names:
+        records = [
+            Record(
+                (
+                    f"item-{int(rng.choice(NUM_ITEMS, p=weights))}",
+                    f"{site}/store-{int(rng.integers(0, 3))}",
+                    int(rng.integers(1, 9)),
+                ),
+                size_bytes=256 * 1024,
+            )
+            for _ in range(40)
+        ]
+        sales.add_records(site, records)
+    return sales
+
+
+def build_items() -> GeoDataset:
+    items = GeoDataset("items", ITEMS)
+    items.add_records(
+        HEADQUARTERS,
+        [
+            Record((f"item-{index}", f"cat-{index % 5}"), size_bytes=64 * 1024)
+            for index in range(NUM_ITEMS)
+        ],
+    )
+    return items
+
+
+def run_dag(topology, reduce_fractions=None):
+    engine = MapReduceEngine(topology, partition_records=8)
+    stages = [
+        JoinStage(
+            "sales_items", "sales", "items",
+            JoinSpec((0,), (0,), left_ratio=0.8, right_ratio=1.0),
+            key_names=("item",),
+        ),
+        MapReduceStage(
+            "per_item", "sales_items",
+            MapReduceSpec.of([0], 0.5), key_names=("item",),
+        ),
+    ]
+    return execute_dag(
+        engine,
+        {"sales": build_sales(topology), "items": build_items()},
+        stages,
+        reduce_fractions=reduce_fractions,
+    )
+
+
+def main() -> None:
+    topology = ec2_ten_sites(base_uplink="2MB/s")
+
+    uniform = run_dag(topology)
+    join = uniform.result_of("sales_items")
+    print(
+        f"join: {join.joined_records} joined rows over "
+        f"{join.matched_keys} items, "
+        f"{join.total_wan_bytes / 1e6:.1f} MB crossed the WAN"
+    )
+    rollup = uniform.output_of("per_item")
+    print(f"roll-up output: {rollup.total_records} item rows\n")
+
+    placements = {
+        "uniform": None,
+        f"all at {HEADQUARTERS} (dimension site)": {HEADQUARTERS: 1.0},
+        "all at singapore (best uplinks)": {"singapore": 1.0},
+    }
+    qcts = {}
+    for label, fractions in placements.items():
+        dag = run_dag(topology, reduce_fractions=fractions)
+        qcts[label] = dag.total_qct
+        print(f"  {label:38s} DAG completes in {format_seconds(dag.total_qct)}")
+
+    best = min(qcts, key=lambda key: qcts[key])
+    worst = max(qcts, key=lambda key: qcts[key])
+    print(
+        f"\nreduce placement swings the two-stage completion time by "
+        f"{qcts[worst] / qcts[best]:.1f}x ({best!r} wins). The heavy fact "
+        "side dictates placement: concentrating reducers at one site "
+        "funnels ~50 MB through a single downlink, while spreading them "
+        "keeps every link busy — exactly the effect the task-placement "
+        "LP of §5 optimizes."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Bohr: similarity aware geo-distributed data analytics (CoNEXT 2018).
+
+A complete reproduction of the Bohr system and every substrate it needs:
+a WAN simulator, an OLAP cube store, probe-based similarity checking, a
+record-level map/combine/shuffle/reduce engine, joint data/task placement
+LPs, the Iridium baseline, and the paper's three benchmark workloads.
+
+Quickstart::
+
+    from repro import ec2_ten_sites, make_system, SystemConfig
+    from repro.workloads import build_workload
+
+    topology = ec2_ten_sites()
+    workload = build_workload("bigdata-aggregation", topology)
+    bohr = make_system("bohr", topology, SystemConfig(lag_seconds=120))
+    report = bohr.prepare(workload)           # cubes, probes, LP, movement
+    results = bohr.run_all_queries(workload)  # engine execution
+    print(sum(r.qct for r in results) / len(results))
+"""
+
+from repro.core.controller import Controller, PreparationReport
+from repro.core.dynamic import initial_workload_from_feeds, run_dynamic
+from repro.core.runner import ExperimentResult, run_experiment
+from repro.engine.job import JobResult, MapReduceEngine
+from repro.engine.spec import MapReduceSpec
+from repro.errors import ReproError
+from repro.olap.cube import OLAPCube
+from repro.placement.iridium import IridiumPlanner
+from repro.placement.joint import JointPlanner
+from repro.placement.model import PlacementProblem
+from repro.query.parser import parse_sql
+from repro.query.spec import QueryClass, QuerySpec, RecurringQuery
+from repro.systems.base import SystemConfig, SystemProfile
+from repro.systems.registry import SCHEME_NAMES, make_system, profile_for
+from repro.types import DatasetCatalog, GeoDataset, Record, Schema
+from repro.wan.presets import ec2_ten_sites, uniform_sites
+from repro.wan.topology import Site, WanTopology
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Controller",
+    "DatasetCatalog",
+    "ExperimentResult",
+    "GeoDataset",
+    "IridiumPlanner",
+    "JobResult",
+    "JointPlanner",
+    "MapReduceEngine",
+    "MapReduceSpec",
+    "OLAPCube",
+    "PlacementProblem",
+    "PreparationReport",
+    "QueryClass",
+    "QuerySpec",
+    "Record",
+    "RecurringQuery",
+    "ReproError",
+    "SCHEME_NAMES",
+    "Schema",
+    "Site",
+    "SystemConfig",
+    "SystemProfile",
+    "WanTopology",
+    "ec2_ten_sites",
+    "initial_workload_from_feeds",
+    "make_system",
+    "parse_sql",
+    "profile_for",
+    "run_dynamic",
+    "run_experiment",
+    "uniform_sites",
+]

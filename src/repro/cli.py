@@ -1,0 +1,174 @@
+"""Command-line interface.
+
+::
+
+    python -m repro schemes
+    python -m repro topology [--base-uplink 2MB/s]
+    python -m repro run --scheme bohr --workload tpcds [options]
+    python -m repro compare --workload bigdata-aggregation \
+        --schemes iridium,iridium-c,bohr [options]
+
+``run`` executes one scheme on one workload (with the vanilla in-place
+baseline for the data-reduction metric) and prints the QCT and per-site
+reduction; ``compare`` does the same for several schemes side by side.
+Results can be saved to JSON with ``--json`` and reloaded by
+:mod:`repro.core.persistence`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.report import render_qct_table, render_reduction_table
+from repro.core.runner import ExperimentResult, run_experiment
+from repro.systems.base import SystemConfig
+from repro.systems.registry import SCHEME_NAMES
+from repro.util.units import format_bytes, format_seconds
+from repro.wan.presets import ec2_ten_sites
+
+WORKLOAD_CHOICES = (
+    "bigdata-scan",
+    "bigdata-udf",
+    "bigdata-aggregation",
+    "bigdata",
+    "tpcds",
+    "facebook",
+    "images",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bohr (CoNEXT 2018) reproduction: geo-distributed "
+        "analytics with similarity-aware placement.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("schemes", help="list the available schemes")
+
+    topology_cmd = commands.add_parser(
+        "topology", help="print the ten-region EC2 topology"
+    )
+    topology_cmd.add_argument("--base-uplink", default="2MB/s")
+
+    for name, needs_schemes in (("run", False), ("compare", True)):
+        cmd = commands.add_parser(
+            name,
+            help="execute one scheme" if name == "run" else "compare schemes",
+        )
+        if needs_schemes:
+            cmd.add_argument(
+                "--schemes",
+                default="iridium,iridium-c,bohr",
+                help="comma-separated scheme names",
+            )
+        else:
+            cmd.add_argument("--scheme", default="bohr", choices=SCHEME_NAMES)
+        cmd.add_argument("--workload", default="bigdata-aggregation",
+                         choices=WORKLOAD_CHOICES)
+        cmd.add_argument("--placement", default="random",
+                         choices=("random", "locality"))
+        cmd.add_argument("--base-uplink", default="2MB/s")
+        cmd.add_argument("--lag", type=float, default=8.0,
+                         help="query lag window T in seconds")
+        cmd.add_argument("--probe-k", type=int, default=30)
+        cmd.add_argument("--queries", type=int, default=6,
+                         help="queries to execute per scheme")
+        cmd.add_argument("--seed", type=int, default=11)
+        cmd.add_argument("--scale", type=float, default=1.0)
+        cmd.add_argument("--json", metavar="PATH",
+                         help="also write results to a JSON file")
+    return parser
+
+
+def _experiment(scheme: str, args: argparse.Namespace) -> ExperimentResult:
+    from repro.workloads import build_workload
+
+    topology = ec2_ten_sites(base_uplink=args.base_uplink)
+    config = SystemConfig(
+        lag_seconds=args.lag, probe_k=args.probe_k, seed=args.seed,
+        partition_records=8,
+    )
+
+    def factory():
+        return build_workload(
+            args.workload, topology, placement=args.placement,
+            seed=args.seed, scale=args.scale,
+        )
+
+    return run_experiment(scheme, factory, topology, config,
+                          query_limit=args.queries)
+
+
+def _print_result(result: ExperimentResult) -> None:
+    prep = result.prep
+    print(
+        f"{result.system} on {result.workload}: "
+        f"mean QCT {format_seconds(result.mean_qct)} "
+        f"(vanilla in-place: {format_seconds(result.baseline_mean_qct)}), "
+        f"moved {format_bytes(prep.moved_bytes)}, "
+        f"LP {prep.lp_solve_seconds * 1000:.1f} ms, "
+        f"{len(prep.probes)} probes"
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "schemes":
+        from repro.systems.registry import profile_for
+
+        for name in SCHEME_NAMES:
+            profile = profile_for(name)
+            flags = []
+            if profile.uses_cubes:
+                flags.append("cubes")
+            if profile.uses_similarity:
+                flags.append("similarity")
+            flags.append(profile.placement_strategy)
+            if profile.rdd_similarity:
+                flags.append("rdd")
+            print(f"{name:12s} {' + '.join(flags)}")
+        return 0
+
+    if args.command == "topology":
+        print(ec2_ten_sites(base_uplink=args.base_uplink).describe())
+        return 0
+
+    if args.command == "run":
+        result = _experiment(args.scheme, args)
+        _print_result(result)
+        print()
+        print(render_reduction_table([result],
+                                     title="Data reduction vs in-place (%)"))
+        if args.json:
+            from repro.core.persistence import save_results
+
+            save_results([result], args.json)
+            print(f"\nresults written to {args.json}")
+        return 0
+
+    # compare
+    results: List[ExperimentResult] = []
+    for scheme in [s.strip() for s in args.schemes.split(",") if s.strip()]:
+        result = _experiment(scheme, args)
+        _print_result(result)
+        results.append(result)
+    print()
+    print(render_qct_table(results, title="Mean QCT (seconds)"))
+    print()
+    print(render_reduction_table(results,
+                                 title="Data reduction vs in-place (%)"))
+    if args.json:
+        from repro.core.persistence import save_results
+
+        save_results(results, args.json)
+        print(f"\nresults written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

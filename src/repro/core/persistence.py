@@ -1,0 +1,124 @@
+"""Serialization of experiment results to JSON.
+
+Long sweeps write their results to disk so reports can be regenerated
+without re-running experiments; round-tripping is exact for every field
+the report helpers consume.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.core.controller import PreparationReport
+from repro.core.runner import ExperimentResult, QueryRun
+from repro.errors import ConfigurationError
+
+
+def _run_to_dict(run: QueryRun) -> Dict:
+    return {
+        "dataset_id": run.dataset_id,
+        "query_text": run.query_text,
+        "qct": run.qct,
+        "intermediate_bytes_by_site": dict(run.intermediate_bytes_by_site),
+        "wan_bytes": run.wan_bytes,
+        "rdd_overhead_seconds": run.rdd_overhead_seconds,
+    }
+
+
+def _run_from_dict(payload: Dict) -> QueryRun:
+    return QueryRun(
+        dataset_id=payload["dataset_id"],
+        query_text=payload["query_text"],
+        qct=payload["qct"],
+        intermediate_bytes_by_site=dict(payload["intermediate_bytes_by_site"]),
+        wan_bytes=payload["wan_bytes"],
+        rdd_overhead_seconds=payload["rdd_overhead_seconds"],
+    )
+
+
+def result_to_dict(result: ExperimentResult) -> Dict:
+    """JSON-safe dictionary of one experiment result.
+
+    Preparation details keep the scalar observables (timings, moved
+    bytes, fractions); probes and transfer traces are summarized, not
+    serialized record-by-record.
+    """
+    prep = result.prep
+    return {
+        "system": result.system,
+        "workload": result.workload,
+        "prep": {
+            "scheme": prep.scheme,
+            "cube_build_seconds": prep.cube_build_seconds,
+            "probe_build_seconds": prep.probe_build_seconds,
+            "similarity_check_seconds": prep.similarity_check_seconds,
+            "lp_solve_seconds": prep.lp_solve_seconds,
+            "planner_iterations": prep.planner_iterations,
+            "estimated_shuffle_seconds": prep.estimated_shuffle_seconds,
+            "reduce_fractions": dict(prep.reduce_fractions),
+            "moved_bytes": prep.moved_bytes,
+            "num_probes": len(prep.probes),
+            "total_probe_bytes": prep.total_probe_bytes,
+            "cross_similarity": {
+                "|".join(key): value
+                for key, value in prep.cross_similarity.items()
+            },
+            "intra_similarity": {
+                "|".join(key): value
+                for key, value in prep.intra_similarity.items()
+            },
+        },
+        "runs": [_run_to_dict(run) for run in result.runs],
+        "baseline_runs": [_run_to_dict(run) for run in result.baseline_runs],
+    }
+
+
+def result_from_dict(payload: Dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict`.
+
+    The preparation report is reconstructed with its scalar fields;
+    probe/movement objects are not resurrected (``movement`` is None and
+    ``moved_bytes`` is therefore 0 on the round-tripped object).
+    """
+    prep_payload = payload["prep"]
+    prep = PreparationReport(scheme=prep_payload["scheme"])
+    prep.cube_build_seconds = prep_payload["cube_build_seconds"]
+    prep.probe_build_seconds = prep_payload["probe_build_seconds"]
+    prep.similarity_check_seconds = prep_payload["similarity_check_seconds"]
+    prep.lp_solve_seconds = prep_payload["lp_solve_seconds"]
+    prep.planner_iterations = prep_payload["planner_iterations"]
+    prep.estimated_shuffle_seconds = prep_payload["estimated_shuffle_seconds"]
+    prep.reduce_fractions = dict(prep_payload["reduce_fractions"])
+    prep.cross_similarity = {
+        tuple(key.split("|")): value
+        for key, value in prep_payload.get("cross_similarity", {}).items()
+    }
+    prep.intra_similarity = {
+        tuple(key.split("|")): value
+        for key, value in prep_payload.get("intra_similarity", {}).items()
+    }
+    return ExperimentResult(
+        system=payload["system"],
+        workload=payload["workload"],
+        prep=prep,
+        runs=[_run_from_dict(run) for run in payload["runs"]],
+        baseline_runs=[_run_from_dict(run) for run in payload["baseline_runs"]],
+    )
+
+
+def save_results(results: List[ExperimentResult], path: "str | Path") -> None:
+    """Write a batch of results as a JSON document."""
+    document = {"version": 1, "results": [result_to_dict(r) for r in results]}
+    Path(path).write_text(json.dumps(document, indent=2))
+
+
+def load_results(path: "str | Path") -> List[ExperimentResult]:
+    """Load a batch previously written by :func:`save_results`."""
+    document = json.loads(Path(path).read_text())
+    if document.get("version") != 1:
+        raise ConfigurationError(
+            f"unsupported results file version {document.get('version')!r}"
+        )
+    return [result_from_dict(payload) for payload in document["results"]]

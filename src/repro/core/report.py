@@ -1,0 +1,73 @@
+"""Report helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.runner import ExperimentResult
+from repro.util.stats import mean
+from repro.util.tabulate import format_table
+
+
+def mean_qct_by_workload(
+    results: Iterable[ExperimentResult],
+) -> Dict[str, Dict[str, float]]:
+    """{workload: {system: mean QCT}} over a batch of experiment results."""
+    table: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        table.setdefault(result.workload, {})[result.system] = result.mean_qct
+    return table
+
+
+def data_reduction_by_site(
+    results: Iterable[ExperimentResult],
+) -> Dict[str, Dict[str, float]]:
+    """{site: {system: reduction %}} over a batch of experiment results."""
+    table: Dict[str, Dict[str, float]] = {}
+    for result in results:
+        for site, reduction in result.data_reduction_by_site().items():
+            table.setdefault(site, {})[result.system] = reduction
+    return table
+
+
+def summarize_reduction(result: ExperimentResult) -> Dict[str, float]:
+    """Best / worst / mean site reduction for one result."""
+    reductions = result.data_reduction_by_site()
+    if not reductions:
+        return {"best": 0.0, "worst": 0.0, "mean": 0.0}
+    values = list(reductions.values())
+    return {"best": max(values), "worst": min(values), "mean": mean(values)}
+
+
+def render_qct_table(
+    results: Sequence[ExperimentResult], title: str = ""
+) -> str:
+    """ASCII rendering of a QCT comparison (one Figure 6/7/10 panel)."""
+    by_workload = mean_qct_by_workload(results)
+    systems: List[str] = []
+    for result in results:
+        if result.system not in systems:
+            systems.append(result.system)
+    rows = [
+        [workload] + [per_system.get(system, float("nan")) for system in systems]
+        for workload, per_system in by_workload.items()
+    ]
+    return format_table(rows, headers=["workload"] + systems, title=title)
+
+
+def render_reduction_table(
+    results: Sequence[ExperimentResult], title: str = ""
+) -> str:
+    """ASCII rendering of a per-site reduction comparison (Figure 8/9/11)."""
+    by_site = data_reduction_by_site(results)
+    systems: List[str] = []
+    for result in results:
+        if result.system not in systems:
+            systems.append(result.system)
+    rows = [
+        [site] + [per_system.get(system, float("nan")) for system in systems]
+        for site, per_system in by_site.items()
+    ]
+    return format_table(
+        rows, headers=["site"] + [f"{system} (%)" for system in systems], title=title
+    )

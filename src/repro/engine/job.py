@@ -1,0 +1,352 @@
+"""End-to-end map-reduce job execution over geo-distributed shards.
+
+Timeline per job (matching §2.1's stage structure):
+
+1. every site chunks its shard into RDD partitions, deals them to
+   machines, assigns partitions to executors (round-robin or
+   similarity-aware), and runs map + combine — compute time is the
+   busiest executor's bytes over the site's per-executor compute rate,
+   plus any RDD-similarity-checking overhead;
+2. each combined record routes to a reduce task, hence a site; all
+   cross-site intermediate data is simulated as concurrent WAN transfers
+   with max-min fair sharing, starting when the source site's map stage
+   finishes;
+3. a site's reduce work starts when its last inbound byte lands; QCT is
+   the latest site finish time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.engine.assignment import assign_partitions
+from repro.engine.combiner import CombinedOutput, combine
+from repro.engine.rdd import make_partitions, round_robin
+from repro.engine.shuffle import ReduceTaskMap
+from repro.engine.spec import MapReduceSpec
+from repro.errors import EngineError
+from repro.similarity.dimsum import DimsumConfig
+from repro.types import GeoDataset
+from repro.wan.topology import WanTopology
+from repro.wan.transfer import Transfer, TransferResult, TransferScheduler
+
+
+@dataclass
+class SiteMetrics:
+    """Per-site accounting for one job."""
+
+    site: str
+    input_bytes: float = 0.0
+    input_records: int = 0
+    map_output_bytes: float = 0.0
+    intermediate_bytes: float = 0.0  # after combining: the f_i of Table 1
+    intermediate_records: int = 0
+    uploaded_bytes: float = 0.0  # WAN bytes sent to other sites
+    downloaded_bytes: float = 0.0  # WAN bytes received from other sites
+    local_shuffle_bytes: float = 0.0  # intra-site shuffle (LAN)
+    map_seconds: float = 0.0
+    rdd_overhead_seconds: float = 0.0
+    map_finish: float = 0.0
+    reduce_seconds: float = 0.0
+    finish_time: float = 0.0
+
+    @property
+    def combine_savings(self) -> float:
+        """Fraction of map output removed by the combiner at this site."""
+        if self.map_output_bytes == 0:
+            return 0.0
+        return 1.0 - self.intermediate_bytes / self.map_output_bytes
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job execution."""
+
+    qct: float
+    per_site: Dict[str, SiteMetrics]
+    transfers: List[TransferResult] = field(default_factory=list)
+    #: Per-key combined record counts and bytes (populated only when the
+    #: engine ran with ``collect_keys=True``; used by joins and by DAG
+    #: stage materialization).
+    key_counts: Dict = field(default_factory=dict)
+    key_bytes: Dict = field(default_factory=dict)
+
+    @property
+    def total_intermediate_bytes(self) -> float:
+        return sum(metrics.intermediate_bytes for metrics in self.per_site.values())
+
+    @property
+    def total_wan_bytes(self) -> float:
+        return sum(metrics.uploaded_bytes for metrics in self.per_site.values())
+
+    @property
+    def total_rdd_overhead_seconds(self) -> float:
+        return sum(
+            metrics.rdd_overhead_seconds for metrics in self.per_site.values()
+        )
+
+    def intermediate_bytes_at(self, site: str) -> float:
+        metrics = self.per_site.get(site)
+        return metrics.intermediate_bytes if metrics else 0.0
+
+
+class MapReduceEngine:
+    """Executes :class:`MapReduceSpec` jobs over a :class:`WanTopology`."""
+
+    def __init__(
+        self,
+        topology: WanTopology,
+        partition_records: int = 64,
+        rdd_similarity: bool = False,
+        dimsum_config: DimsumConfig = DimsumConfig(),
+        lan_bps: float = 10.0e9,
+        seed: int = 7,
+        charge_rdd_overhead: bool = True,
+    ) -> None:
+        if partition_records < 1:
+            raise EngineError("partition_records must be >= 1")
+        self.topology = topology
+        self.partition_records = partition_records
+        self.rdd_similarity = rdd_similarity
+        self.dimsum_config = dimsum_config
+        self.scheduler = TransferScheduler(topology, lan_bps=lan_bps)
+        self.seed = seed
+        self.charge_rdd_overhead = charge_rdd_overhead
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        dataset: GeoDataset,
+        spec: MapReduceSpec,
+        reduce_fractions: Optional[Mapping[str, float]] = None,
+        cube_sorted: bool = False,
+    ) -> JobResult:
+        """Execute one job; returns the QCT and per-site metrics.
+
+        ``reduce_fractions`` defaults to a uniform split over all sites.
+        ``cube_sorted`` feeds records in cube-cluster order (Iridium-C and
+        Bohr) instead of raw order (Iridium).
+        """
+        [result] = self.run_many(
+            [(dataset, spec)],
+            reduce_fractions=reduce_fractions,
+            cube_sorted=cube_sorted,
+        )
+        return result
+
+    def run_many(
+        self,
+        jobs: Sequence["tuple[GeoDataset, MapReduceSpec]"],
+        reduce_fractions: Optional[Mapping[str, float]] = None,
+        cube_sorted: bool = False,
+        share_task_map: bool = False,
+        collect_keys: bool = False,
+    ) -> List[JobResult]:
+        """Execute several jobs concurrently over the shared WAN.
+
+        All jobs' shuffle transfers contend for the same uplinks and
+        downlinks (max-min fair), so each job's QCT reflects the others'
+        load — the situation recurring queries face in production.
+
+        ``share_task_map`` routes every job's keys through one reduce-task
+        map (all jobs must agree on ``num_reduce_tasks``); this aligns
+        key → site routing across jobs, which joins require.
+        ``collect_keys`` additionally aggregates per-key combined counts
+        into each :class:`JobResult` (used by the join operator).
+        """
+        if not jobs:
+            return []
+        fractions = self._resolve_fractions(reduce_fractions)
+        if share_task_map:
+            task_counts = {spec.num_reduce_tasks for _dataset, spec in jobs}
+            if len(task_counts) != 1:
+                raise EngineError(
+                    "share_task_map requires equal num_reduce_tasks; "
+                    f"got {sorted(task_counts)}"
+                )
+            shared = ReduceTaskMap.from_fractions(fractions, task_counts.pop())
+            task_maps = [shared] * len(jobs)
+        else:
+            task_maps = [
+                ReduceTaskMap.from_fractions(fractions, spec.num_reduce_tasks)
+                for _dataset, spec in jobs
+            ]
+
+        per_job_metrics: List[Dict[str, SiteMetrics]] = []
+        all_transfers: List = []
+        job_key_counts: List[Dict] = []
+        for index, (dataset, spec) in enumerate(jobs):
+            metrics = {
+                site.name: SiteMetrics(site=site.name) for site in self.topology
+            }
+            site_outputs = {
+                site_name: self._map_stage(
+                    dataset, spec, site_name, metrics[site_name], cube_sorted
+                )
+                for site_name in self.topology.site_names
+            }
+            if collect_keys:
+                counts: Dict = {}
+                sizes: Dict = {}
+                for outputs in site_outputs.values():
+                    for output in outputs:
+                        for key, record in output.records.items():
+                            counts[key] = counts.get(key, 0) + record.merged_count
+                            sizes[key] = sizes.get(key, 0.0) + record.size_bytes
+                job_key_counts.append((counts, sizes))
+            transfers = self._plan_shuffle(
+                site_outputs, task_maps[index], metrics, tag=f"job-{index}"
+            )
+            per_job_metrics.append(metrics)
+            all_transfers.extend(transfers)
+
+        results = self.scheduler.simulate(all_transfers)
+        job_results: List[JobResult] = []
+        for index, metrics in enumerate(per_job_metrics):
+            own = [
+                result
+                for result in results
+                if result.transfer.tag == f"job-{index}"
+            ]
+            qct = self._reduce_stage(own, metrics)
+            job_result = JobResult(qct=qct, per_site=metrics, transfers=own)
+            if collect_keys:
+                job_result.key_counts, job_result.key_bytes = job_key_counts[index]
+            job_results.append(job_result)
+        return job_results
+
+    # ------------------------------------------------------------------
+
+    def _resolve_fractions(
+        self, reduce_fractions: Optional[Mapping[str, float]]
+    ) -> Dict[str, float]:
+        if reduce_fractions is None:
+            share = 1.0 / len(self.topology)
+            return {name: share for name in self.topology.site_names}
+        unknown = set(reduce_fractions) - set(self.topology.site_names)
+        if unknown:
+            raise EngineError(f"reduce fractions name unknown sites {sorted(unknown)}")
+        return dict(reduce_fractions)
+
+    def _map_stage(
+        self,
+        dataset: GeoDataset,
+        spec: MapReduceSpec,
+        site_name: str,
+        site_metrics: SiteMetrics,
+        cube_sorted: bool,
+    ) -> List[CombinedOutput]:
+        """Run map + combine at one site; returns per-executor outputs."""
+        site = self.topology.site(site_name)
+        shard = dataset.shard(site_name)
+        site_metrics.input_bytes = float(sum(r.size_bytes for r in shard))
+        site_metrics.input_records = len(shard)
+        if not shard:
+            return []
+
+        partitions = make_partitions(
+            shard,
+            site_name,
+            self.partition_records,
+            key_indices=spec.key_indices,
+            cube_sorted=cube_sorted,
+        )
+        machine_loads = round_robin(partitions, site.machines)
+        executor_outputs: List[CombinedOutput] = []
+        busiest_executor_bytes = 0.0
+        for machine_partitions in machine_loads:
+            assignment = assign_partitions(
+                machine_partitions,
+                site.executors_per_machine,
+                spec.key_indices,
+                similarity_aware=self.rdd_similarity,
+                dimsum_config=self.dimsum_config,
+                seed=self.seed,
+            )
+            site_metrics.rdd_overhead_seconds += assignment.overhead_seconds
+            for executor_partitions in assignment.executor_partitions:
+                records = [
+                    record
+                    for partition in executor_partitions
+                    for record in partition.records
+                    if spec.matches(record)  # WHERE pushdown at the map
+                ]
+                if not records:
+                    continue
+                output = combine(records, spec.key_indices, spec.reduction_ratio)
+                executor_outputs.append(output)
+                executor_bytes = float(sum(r.size_bytes for r in records))
+                busiest_executor_bytes = max(busiest_executor_bytes, executor_bytes)
+
+        site_metrics.map_output_bytes = sum(
+            output.map_output_bytes for output in executor_outputs
+        )
+        site_metrics.intermediate_bytes = sum(
+            output.total_bytes for output in executor_outputs
+        )
+        site_metrics.intermediate_records = sum(
+            output.num_records for output in executor_outputs
+        )
+        site_metrics.map_seconds = busiest_executor_bytes / site.compute_bps
+        overhead = (
+            site_metrics.rdd_overhead_seconds if self.charge_rdd_overhead else 0.0
+        )
+        site_metrics.map_finish = site_metrics.map_seconds + overhead
+        return executor_outputs
+
+    def _plan_shuffle(
+        self,
+        site_outputs: Mapping[str, List[CombinedOutput]],
+        task_map: ReduceTaskMap,
+        metrics: Dict[str, SiteMetrics],
+        tag: str = "job-0",
+    ) -> List[Transfer]:
+        """Route combined records to reduce sites; build WAN transfers."""
+        volume: Dict[tuple, float] = {}
+        for src, outputs in site_outputs.items():
+            for output in outputs:
+                for key, record in output.records.items():
+                    dst = task_map.site_of_key(key)
+                    volume[(src, dst)] = volume.get((src, dst), 0.0) + record.size_bytes
+        transfers: List[Transfer] = []
+        for (src, dst), num_bytes in sorted(volume.items()):
+            if src == dst:
+                metrics[src].local_shuffle_bytes += num_bytes
+            else:
+                metrics[src].uploaded_bytes += num_bytes
+                metrics[dst].downloaded_bytes += num_bytes
+            transfers.append(
+                Transfer(
+                    src=src,
+                    dst=dst,
+                    num_bytes=num_bytes,
+                    start_time=metrics[src].map_finish,
+                    tag=tag,
+                )
+            )
+        return transfers
+
+    def _reduce_stage(
+        self, results: Sequence[TransferResult], metrics: Dict[str, SiteMetrics]
+    ) -> float:
+        """Compute reduce finish times; returns the job QCT."""
+        inbound_finish: Dict[str, float] = {}
+        inbound_bytes: Dict[str, float] = {}
+        for result in results:
+            dst = result.transfer.dst
+            inbound_finish[dst] = max(inbound_finish.get(dst, 0.0), result.finish_time)
+            inbound_bytes[dst] = inbound_bytes.get(dst, 0.0) + result.transfer.num_bytes
+
+        qct = 0.0
+        for site_name, site_metrics in metrics.items():
+            site = self.topology.site(site_name)
+            start = max(site_metrics.map_finish, inbound_finish.get(site_name, 0.0))
+            received = inbound_bytes.get(site_name, 0.0)
+            site_metrics.reduce_seconds = received / (
+                site.compute_bps * site.executors
+            )
+            site_metrics.finish_time = start + site_metrics.reduce_seconds
+            qct = max(qct, site_metrics.finish_time)
+        return qct

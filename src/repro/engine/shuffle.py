@@ -1,0 +1,88 @@
+"""Shuffle plumbing: reduce-task placement and key routing.
+
+Reduce tasks are dealt to sites according to the task-placement fractions
+:math:`r_i` (Table 1); every intermediate key hashes to one task, hence
+one destination site.  The all-to-all shuffle of §5 falls out: site i
+uploads the share of its combined output whose tasks live elsewhere and
+downloads its own share from every other site.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import EngineError
+from repro.similarity.probes import largest_remainder_allocation
+from repro.types import Key
+
+
+def key_to_task(key: Key, num_tasks: int) -> int:
+    """Stable hash of a key onto a reduce task id."""
+    if num_tasks < 1:
+        raise EngineError("num_tasks must be >= 1")
+    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little") % num_tasks
+
+
+@dataclass
+class ReduceTaskMap:
+    """Assignment of reduce tasks to sites."""
+
+    task_sites: List[str]
+
+    @classmethod
+    def from_fractions(
+        cls, fractions: Mapping[str, float], num_tasks: int
+    ) -> "ReduceTaskMap":
+        """Deal ``num_tasks`` tasks to sites proportionally to fractions.
+
+        Fractions must be non-negative; at least one must be positive.
+        Counts use largest-remainder so they sum exactly to ``num_tasks``.
+        Tasks are interleaved across sites (not blocked) so consecutive
+        task ids spread load, mirroring how Spark interleaves partitions.
+        """
+        if num_tasks < 1:
+            raise EngineError("num_tasks must be >= 1")
+        positive = {site: frac for site, frac in fractions.items() if frac > 0}
+        if not positive:
+            raise EngineError("at least one site needs a positive reduce fraction")
+        if any(frac < 0 for frac in fractions.values()):
+            raise EngineError("reduce fractions must be >= 0")
+        counts = largest_remainder_allocation(positive, num_tasks)
+        # Interleave: repeatedly deal one task to each site that still has quota.
+        remaining = dict(counts)
+        order = [site for site in fractions if counts.get(site, 0) > 0]
+        task_sites: List[str] = []
+        while len(task_sites) < num_tasks:
+            progressed = False
+            for site in order:
+                if remaining.get(site, 0) > 0:
+                    task_sites.append(site)
+                    remaining[site] -= 1
+                    progressed = True
+            if not progressed:
+                raise EngineError("task dealing stalled (internal error)")
+        return cls(task_sites=task_sites[:num_tasks])
+
+    @property
+    def num_tasks(self) -> int:
+        return len(self.task_sites)
+
+    def site_of(self, task: int) -> str:
+        if not 0 <= task < len(self.task_sites):
+            raise EngineError(f"task {task} out of range [0, {len(self.task_sites)})")
+        return self.task_sites[task]
+
+    def site_of_key(self, key: Key) -> str:
+        return self.site_of(key_to_task(key, self.num_tasks))
+
+    def tasks_per_site(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for site in self.task_sites:
+            counts[site] = counts.get(site, 0) + 1
+        return counts
+
+    def fraction_at(self, site: str) -> float:
+        return self.tasks_per_site().get(site, 0) / self.num_tasks

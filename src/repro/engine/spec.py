@@ -1,0 +1,78 @@
+"""Job specification for the engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import EngineError
+from repro.types import Record, Value
+
+
+@dataclass(frozen=True)
+class MapReduceSpec:
+    """What a map-reduce job looks like to the engine.
+
+    Parameters
+    ----------
+    key_indices:
+        Positions of the query's group-by attributes inside each record;
+        records agreeing on these positions share a key and combine.
+    reduction_ratio:
+        :math:`R^a` of Table 1 — the ratio of map-output (intermediate)
+        size to input size, before combining.  A selective scan has a low
+        ratio; a heavy UDF can approach 1.
+    num_reduce_tasks:
+        Total reduce tasks distributed across sites by the task placement.
+    filters:
+        Equality predicates ``(attribute_index, required_value)`` applied
+        at the map stage: non-matching records are read but emit no
+        intermediate data (WHERE pushdown).
+    """
+
+    key_indices: Tuple[int, ...]
+    reduction_ratio: float
+    num_reduce_tasks: int = 100
+    filters: Tuple[Tuple[int, Value], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.key_indices:
+            raise EngineError("spec needs at least one key attribute index")
+        if len(set(self.key_indices)) != len(self.key_indices):
+            raise EngineError(f"duplicate key indices: {self.key_indices}")
+        if not 0.0 < self.reduction_ratio <= 1.0:
+            raise EngineError(
+                f"reduction_ratio must be in (0, 1], got {self.reduction_ratio}"
+            )
+        if self.num_reduce_tasks < 1:
+            raise EngineError("num_reduce_tasks must be >= 1")
+        for index, _value in self.filters:
+            if index < 0:
+                raise EngineError(f"filter attribute index must be >= 0, got {index}")
+
+    @classmethod
+    def of(
+        cls,
+        key_indices: "List[int] | Tuple[int, ...]",
+        reduction_ratio: float,
+        num_reduce_tasks: int = 100,
+        filters: Sequence[Tuple[int, Value]] = (),
+    ) -> "MapReduceSpec":
+        return cls(
+            key_indices=tuple(key_indices),
+            reduction_ratio=reduction_ratio,
+            num_reduce_tasks=num_reduce_tasks,
+            filters=tuple(filters),
+        )
+
+    def matches(self, record: Record) -> bool:
+        """True when the record passes every filter predicate."""
+        for index, value in self.filters:
+            if index >= len(record.values):
+                raise EngineError(
+                    f"filter index {index} out of range for record "
+                    f"with {len(record.values)} values"
+                )
+            if record.values[index] != value:
+                return False
+        return True

@@ -1,0 +1,120 @@
+"""Execution timelines: what happened when, per site.
+
+A :class:`Timeline` is derived from a finished :class:`JobResult` and
+renders a per-site Gantt-style ASCII view of the map, shuffle and reduce
+phases — the first thing anyone asks for when a QCT looks wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.engine.job import JobResult
+from repro.errors import EngineError
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One phase interval at one site."""
+
+    site: str
+    phase: str  # "map" | "shuffle-in" | "reduce"
+    start: float
+    end: float
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise EngineError(
+                f"event ends before it starts: {self.start} > {self.end}"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Timeline:
+    """All events of one job."""
+
+    events: List[TimelineEvent] = field(default_factory=list)
+    qct: float = 0.0
+
+    @classmethod
+    def from_job(cls, result: JobResult) -> "Timeline":
+        """Reconstruct the phase intervals from a job's metrics."""
+        timeline = cls(qct=result.qct)
+        inbound_finish = {}
+        for transfer_result in result.transfers:
+            transfer = transfer_result.transfer
+            if transfer.num_bytes <= 0:
+                continue
+            timeline.events.append(
+                TimelineEvent(
+                    site=transfer.dst,
+                    phase="shuffle-in",
+                    start=transfer.start_time,
+                    end=transfer_result.finish_time,
+                    detail=f"{transfer.src}->{transfer.dst} "
+                    f"{transfer.num_bytes:.0f}B",
+                )
+            )
+            inbound_finish[transfer.dst] = max(
+                inbound_finish.get(transfer.dst, 0.0),
+                transfer_result.finish_time,
+            )
+        for site, metrics in result.per_site.items():
+            if metrics.input_records:
+                timeline.events.append(
+                    TimelineEvent(
+                        site=site,
+                        phase="map",
+                        start=0.0,
+                        end=metrics.map_finish,
+                        detail=f"{metrics.input_records} records",
+                    )
+                )
+            if metrics.reduce_seconds > 0:
+                start = max(metrics.map_finish, inbound_finish.get(site, 0.0))
+                timeline.events.append(
+                    TimelineEvent(
+                        site=site,
+                        phase="reduce",
+                        start=start,
+                        end=metrics.finish_time,
+                        detail=f"{metrics.downloaded_bytes:.0f}B in",
+                    )
+                )
+        timeline.events.sort(key=lambda event: (event.site, event.start, event.phase))
+        return timeline
+
+    def events_at(self, site: str) -> List[TimelineEvent]:
+        return [event for event in self.events if event.site == site]
+
+    def critical_site(self) -> str:
+        """The site whose last event defines the QCT."""
+        if not self.events:
+            raise EngineError("timeline has no events")
+        last = max(self.events, key=lambda event: event.end)
+        return last.site
+
+    def render(self, width: int = 60) -> str:
+        """ASCII Gantt chart: one row per (site, phase)."""
+        if not self.events:
+            return "(empty timeline)"
+        horizon = max(self.qct, max(event.end for event in self.events))
+        if horizon <= 0:
+            horizon = 1.0
+        lines = [f"timeline (QCT = {self.qct:.3f}s)"]
+        glyph = {"map": "M", "shuffle-in": "s", "reduce": "R"}
+        for event in self.events:
+            begin = int(round(event.start / horizon * (width - 1)))
+            finish = max(begin + 1, int(round(event.end / horizon * (width - 1))))
+            bar = " " * begin + glyph[event.phase] * (finish - begin)
+            lines.append(
+                f"{event.site:>12s} {event.phase:<10s} |{bar:<{width}s}| "
+                f"{event.duration:.3f}s"
+            )
+        return "\n".join(lines)

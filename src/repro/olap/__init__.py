@@ -1,0 +1,40 @@
+"""OLAP cube substrate (§2.2, §4.1).
+
+The paper stores raw data as OLAP cubes (Apache Kylin on Hive) so that
+similarity checking can operate on pre-aggregated, pre-clustered cells
+instead of raw records.  This package provides the equivalent:
+
+- :class:`~repro.olap.cube.OLAPCube` — a multi-dimensional aggregate with
+  cells addressed by coordinate tuples.
+- :mod:`~repro.olap.operations` — slice, dice, roll-up, drill-down, pivot
+  and projection (dimension cubes).
+- :class:`~repro.olap.dimension_cube.DimensionCubeSet` — the per-query-type
+  dimension cubes of §4.1.
+- :class:`~repro.olap.builder.CubeBuilder` — incremental cube maintenance
+  with buffering of data generated during query execution.
+- :mod:`~repro.olap.storage` — the storage-overhead model behind Table 6.
+"""
+
+from repro.olap.builder import CubeBuilder
+from repro.olap.cube import CellAggregate, OLAPCube
+from repro.olap.dimension import Dimension, Hierarchy
+from repro.olap.dimension_cube import DimensionCubeSet
+from repro.olap.operations import dice, drill_down, pivot, project, roll_up, slice_cube
+from repro.olap.storage import StorageModel, StorageReport
+
+__all__ = [
+    "CellAggregate",
+    "CubeBuilder",
+    "Dimension",
+    "DimensionCubeSet",
+    "Hierarchy",
+    "OLAPCube",
+    "StorageModel",
+    "StorageReport",
+    "dice",
+    "drill_down",
+    "pivot",
+    "project",
+    "roll_up",
+    "slice_cube",
+]

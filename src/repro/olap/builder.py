@@ -1,0 +1,82 @@
+"""Incremental cube maintenance with query-time buffering (§4.1).
+
+"If new data are generated during query execution, they are buffered
+until the query finishes."  The builder wraps a :class:`DimensionCubeSet`
+with that buffering protocol and simple accounting used by the overhead
+analysis (Table 7 / §8.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import CubeError
+from repro.olap.dimension_cube import DimensionCubeSet
+from repro.types import Record, Schema
+
+
+@dataclass
+class CubeBuilder:
+    """Maintains a dataset's cubes as data streams in."""
+
+    cube_set: DimensionCubeSet
+    _buffer: List[Record] = field(default_factory=list)
+    _in_query: bool = False
+    inserted: int = 0
+    buffered_total: int = 0
+
+    @classmethod
+    def start(
+        cls,
+        schema: Schema,
+        initial_records: Iterable[Record] = (),
+        measure: Optional[str] = None,
+    ) -> "CubeBuilder":
+        return cls(DimensionCubeSet.build(initial_records, schema, measure=measure))
+
+    @property
+    def schema(self) -> Schema:
+        return self.cube_set.schema
+
+    def ingest(
+        self, records: Iterable[Record], eager_attributes: Optional[Sequence[str]] = None
+    ) -> None:
+        """Add newly generated records.
+
+        During query execution records are buffered; otherwise they are
+        inserted immediately (eagerly into the dimension cube the next
+        query needs, lazily elsewhere).
+        """
+        for record in records:
+            if self._in_query:
+                self._buffer.append(record)
+                self.buffered_total += 1
+            else:
+                self.cube_set.insert(record, eager_attributes=eager_attributes)
+                self.inserted += 1
+
+    def begin_query(self) -> None:
+        if self._in_query:
+            raise CubeError("query already in progress")
+        self._in_query = True
+
+    def end_query(self, eager_attributes: Optional[Sequence[str]] = None) -> int:
+        """Finish the query and flush the buffer; returns flushed count."""
+        if not self._in_query:
+            raise CubeError("no query in progress")
+        self._in_query = False
+        flushed = len(self._buffer)
+        for record in self._buffer:
+            self.cube_set.insert(record, eager_attributes=eager_attributes)
+            self.inserted += 1
+        self._buffer.clear()
+        return flushed
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def catch_up(self) -> int:
+        """Run deferred background updates on all dimension cubes."""
+        return self.cube_set.update_background()

@@ -1,0 +1,122 @@
+"""Per-query-type dimension cubes (§4.1).
+
+Different recurring queries touch different attributes of the same
+dataset.  Bohr classifies queries by the attribute set they access — a
+*query type* — and serves each type from a dimension cube containing only
+those attributes, derived from the base cube.
+
+When new data arrives during query execution it is buffered; only the
+dimension cube needed by the imminent query is updated eagerly, the rest
+catch up in the background (here: on :meth:`DimensionCubeSet.update_background`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import CubeError
+from repro.olap.cube import OLAPCube
+from repro.olap.operations import project
+from repro.types import Record, Schema
+
+#: A query type is the ordered tuple of attributes the query accesses.
+QueryTypeKey = Tuple[str, ...]
+
+
+def query_type_key(attributes: Sequence[str]) -> QueryTypeKey:
+    """Canonical key for a query type (order-insensitive)."""
+    if not attributes:
+        raise CubeError("query type needs at least one attribute")
+    return tuple(sorted(attributes))
+
+
+@dataclass
+class DimensionCubeSet:
+    """The base cube of a dataset plus its derived dimension cubes."""
+
+    schema: Schema
+    base: OLAPCube
+    _derived: Dict[QueryTypeKey, OLAPCube] = field(default_factory=dict)
+    _stale: Dict[QueryTypeKey, List[Record]] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        records: Iterable[Record],
+        schema: Schema,
+        measure: Optional[str] = None,
+    ) -> "DimensionCubeSet":
+        """Build the base cube over every attribute of the schema."""
+        base = OLAPCube.from_records(records, schema, schema.names, measure=measure)
+        return cls(schema=schema, base=base)
+
+    def register_query_type(self, attributes: Sequence[str]) -> QueryTypeKey:
+        """Ensure a dimension cube exists for this attribute set."""
+        key = query_type_key(attributes)
+        for name in key:
+            if name not in self.schema:
+                raise CubeError(f"query attribute {name!r} not in schema")
+        if key not in self._derived:
+            self._derived[key] = project(self.base, list(key))
+            self._stale[key] = []
+        return key
+
+    def cube_for(self, attributes: Sequence[str]) -> OLAPCube:
+        """The dimension cube serving queries over these attributes."""
+        key = self.register_query_type(attributes)
+        return self._derived[key]
+
+    @property
+    def query_types(self) -> List[QueryTypeKey]:
+        return list(self._derived.keys())
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, record: Record, eager_attributes: Optional[Sequence[str]] = None
+    ) -> None:
+        """Insert a new record.
+
+        The base cube is always updated.  If ``eager_attributes`` names a
+        query type, only that dimension cube is updated now; all others
+        are marked stale and updated by :meth:`update_background` — the
+        exact policy described in §4.1.
+        """
+        self.schema.validate_record(record)
+        self.base.insert(record, self.schema)
+        eager_key = query_type_key(eager_attributes) if eager_attributes else None
+        for key, cube in self._derived.items():
+            if eager_key is None or key == eager_key:
+                cube.insert(record, self.schema)
+            else:
+                self._stale[key].append(record)
+
+    def update_background(self) -> int:
+        """Apply all deferred dimension-cube updates; returns the count."""
+        applied = 0
+        for key, pending in self._stale.items():
+            cube = self._derived[key]
+            for record in pending:
+                cube.insert(record, self.schema)
+                applied += 1
+            pending.clear()
+        return applied
+
+    def pending_updates(self) -> int:
+        return sum(len(pending) for pending in self._stale.values())
+
+    def is_consistent(self) -> bool:
+        """True when every dimension cube matches a fresh projection."""
+        if self.pending_updates():
+            return False
+        for key, cube in self._derived.items():
+            fresh = project(self.base, list(key))
+            if fresh.cells.keys() != cube.cells.keys():
+                return False
+            for coordinate, cell in fresh.cells.items():
+                if cube.cells[coordinate].count != cell.count:
+                    return False
+        return True

@@ -1,0 +1,90 @@
+"""The §1 baseline placements: central aggregation and vanilla in-place.
+
+Centralized aggregation ships every byte to one hub site and runs the
+whole query there — the strawman the paper's introduction dismisses for
+its bandwidth and delay cost.  In-place is stock Spark: data stays where
+it was generated and reduce tasks spread uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.placement.joint import PlacementDecision
+from repro.placement.lp import Moves, shuffle_bytes_after_moves
+from repro.placement.model import PlacementProblem
+
+
+def evaluate_shuffle_time(
+    problem: PlacementProblem,
+    moves: Moves,
+    fractions: Mapping[str, float],
+) -> float:
+    """The objective t of equation (2) for a *given* placement.
+
+    Evaluates constraints (3) and (4) at the point and returns the
+    binding maximum — the shuffle-time bound the LP would assign to this
+    solution.
+    """
+    volumes = shuffle_bytes_after_moves(problem, moves)
+    worst = 0.0
+    for site in problem.site_names:
+        r_i = fractions.get(site, 0.0)
+        upload = (1.0 - r_i) * volumes[site] / problem.U(site)
+        inbound = sum(
+            volumes[other] for other in problem.site_names if other != site
+        )
+        download = r_i * inbound / problem.D(site)
+        worst = max(worst, upload, download)
+    return worst
+
+
+class CentralizedPlanner:
+    """Aggregate everything at the best-connected hub site."""
+
+    def __init__(self, hub: "str | None" = None) -> None:
+        self.hub = hub
+
+    def plan(self, problem: PlacementProblem) -> PlacementDecision:
+        sites = problem.site_names
+        hub = self.hub or max(sites, key=problem.D)
+        if hub not in sites:
+            from repro.errors import PlacementError
+
+            raise PlacementError(f"hub {hub!r} is not a site of the problem")
+        moves: Moves = {}
+        for dataset_id in problem.dataset_ids:
+            for site in sites:
+                held = problem.I(dataset_id, site)
+                if site != hub and held > 0:
+                    moves[(dataset_id, site, hub)] = held
+        fractions: Dict[str, float] = {
+            site: (1.0 if site == hub else 0.0) for site in sites
+        }
+        return PlacementDecision(
+            moves=moves,
+            reduce_fractions=fractions,
+            estimated_shuffle_seconds=evaluate_shuffle_time(
+                problem, moves, fractions
+            ),
+            solve_seconds=0.0,
+            planner="centralized",
+            details={"hub": hub},  # type: ignore[dict-item]
+        )
+
+
+class InPlacePlanner:
+    """Stock Spark: no movement, uniform reduce-task spread."""
+
+    def plan(self, problem: PlacementProblem) -> PlacementDecision:
+        sites = problem.site_names
+        fractions = {site: 1.0 / len(sites) for site in sites}
+        return PlacementDecision(
+            moves={},
+            reduce_fractions=fractions,
+            estimated_shuffle_seconds=evaluate_shuffle_time(
+                problem, {}, fractions
+            ),
+            solve_seconds=0.0,
+            planner="in-place",
+        )

@@ -1,0 +1,240 @@
+"""The placement linear programs (equations (2)–(7)).
+
+The full joint problem couples the bilinear terms :math:`r_i \\cdot
+x^a_{i,j}`, so it is solved by alternating two exact LPs:
+
+- :func:`solve_data_lp` — optimal data movement :math:`x^a_{i,j}` for a
+  *fixed* task placement :math:`r` (constraints (3)–(6) plus the implicit
+  bound that a site cannot move out more than it holds);
+- :func:`solve_task_lp` — optimal task placement :math:`r` for *fixed*
+  per-site shuffle volumes :math:`F_i` (constraints (3), (4), (7)).
+
+Both minimize the same t, so alternation monotonically improves the
+objective; :class:`~repro.placement.joint.JointPlanner` drives it to a
+fixed point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.placement.model import PlacementProblem
+from repro.placement.solver import LinearProgram, LpSolution, solve_lp
+
+#: A data movement decision: (dataset, src_site, dst_site) -> bytes.
+Moves = Dict[Tuple[str, str, str], float]
+
+_EPS_BYTES = 1e-6
+
+
+def solve_data_lp(
+    problem: PlacementProblem,
+    reduce_fractions: Mapping[str, float],
+    backend: str = "auto",
+) -> Tuple[Moves, float, LpSolution]:
+    """Optimal data movement given fixed reduce fractions.
+
+    Returns ``(moves, t, solution)`` where t is the optimized shuffle
+    time bound of equation (2).
+    """
+    sites = problem.site_names
+    datasets = problem.dataset_ids
+    pairs = [(i, j) for i in sites for j in sites if i != j]
+    var_names = ["t"] + [f"x[{a}][{i}->{j}]" for a in datasets for (i, j) in pairs]
+    index_of = {name: position for position, name in enumerate(var_names)}
+    num_vars = len(var_names)
+
+    def x_index(dataset: str, src: str, dst: str) -> int:
+        return index_of[f"x[{dataset}][{src}->{dst}]"]
+
+    rows: List[np.ndarray] = []
+    bounds: List[float] = []
+
+    def coefficient_row() -> np.ndarray:
+        return np.zeros(num_vars)
+
+    def add_f_terms(
+        row: np.ndarray, a: str, site: str, scale: float
+    ) -> float:
+        """Add scale * f_site^a(x) to the row; returns the constant part.
+
+        f_i^a = R^a[(I_i - sum_j x_ij)(1 - S_i) + sum_k x_ki (1 - S_ki)].
+        """
+        local_k = problem.R(a) * (1.0 - problem.S(a, site)) * scale
+        for j in sites:
+            if j == site:
+                continue
+            row[x_index(a, site, j)] -= local_k  # moving out reduces f
+            inflow_k = (
+                problem.R(a) * (1.0 - problem.Sij(a, j, site)) * scale
+            )
+            row[x_index(a, j, site)] += inflow_k  # inflow adds at pair rate
+        return local_k * problem.I(a, site)
+
+    for i in sites:
+        r_i = reduce_fractions.get(i, 0.0)
+        # (3): upload time of shuffle data at i.
+        row = coefficient_row()
+        row[0] = -1.0
+        constant = 0.0
+        for a in datasets:
+            constant -= add_f_terms(row, a, i, (1.0 - r_i) / problem.U(i))
+        rows.append(row)
+        bounds.append(constant)
+
+        # (4): download time of shuffle data at i.
+        row = coefficient_row()
+        row[0] = -1.0
+        constant = 0.0
+        for a in datasets:
+            for j in sites:
+                if j == i:
+                    continue
+                constant -= add_f_terms(row, a, j, r_i / problem.D(i))
+        rows.append(row)
+        bounds.append(constant)
+
+        # (5): data movement upload within the lag.
+        row = coefficient_row()
+        for a in datasets:
+            for j in sites:
+                if j != i:
+                    row[x_index(a, i, j)] = 1.0
+        rows.append(row)
+        bounds.append(problem.lag_seconds * problem.U(i))
+
+        # (6): data movement download within the lag.
+        row = coefficient_row()
+        for a in datasets:
+            for k_site in sites:
+                if k_site != i:
+                    row[x_index(a, k_site, i)] = 1.0
+        rows.append(row)
+        bounds.append(problem.lag_seconds * problem.D(i))
+
+        # Cannot move out more than the site holds.
+        for a in datasets:
+            row = coefficient_row()
+            for j in sites:
+                if j != i:
+                    row[x_index(a, i, j)] = 1.0
+            rows.append(row)
+            bounds.append(problem.I(a, i))
+
+        # Similarity-aware mobility caps: only the absorbable fraction of
+        # a site's data may move toward each destination (x <= I * S_ij).
+        for a in datasets:
+            for j in sites:
+                if j == i:
+                    continue
+                cap = problem.mobility_cap(a, i, j)
+                if cap >= 1.0:
+                    continue
+                row = coefficient_row()
+                row[x_index(a, i, j)] = 1.0
+                rows.append(row)
+                bounds.append(problem.I(a, i) * cap)
+
+    objective = np.zeros(num_vars)
+    objective[0] = 1.0
+    program = LinearProgram(
+        c=objective,
+        a_ub=np.vstack(rows),
+        b_ub=np.asarray(bounds),
+        variable_names=var_names,
+    )
+    solution = solve_lp(program, backend=backend)
+    moves: Moves = {}
+    for a in datasets:
+        for (i, j) in pairs:
+            volume = float(solution.x[x_index(a, i, j)])
+            if volume > _EPS_BYTES:
+                moves[(a, i, j)] = volume
+    return moves, float(solution.x[0]), solution
+
+
+def solve_task_lp(
+    shuffle_bytes: Mapping[str, float],
+    problem: PlacementProblem,
+    backend: str = "auto",
+) -> Tuple[Dict[str, float], float, LpSolution]:
+    """Optimal reduce fractions given fixed per-site shuffle volumes F_i.
+
+    Returns ``(reduce_fractions, t, solution)``.
+    """
+    sites = problem.site_names
+    missing = set(shuffle_bytes) - set(sites)
+    if missing:
+        raise PlacementError(f"shuffle bytes reference unknown sites {sorted(missing)}")
+    var_names = ["t"] + [f"r[{site}]" for site in sites]
+    num_vars = len(var_names)
+
+    total_volume = sum(shuffle_bytes.get(site, 0.0) for site in sites)
+    rows: List[np.ndarray] = []
+    bounds: List[float] = []
+    for position, site in enumerate(sites):
+        f_i = shuffle_bytes.get(site, 0.0)
+        # (3): (1 - r_i) F_i / U_i <= t
+        row = np.zeros(num_vars)
+        row[0] = -1.0
+        row[1 + position] = -f_i / problem.U(site)
+        rows.append(row)
+        bounds.append(-f_i / problem.U(site))
+        # (4): r_i * sum_{j != i} F_j / D_i <= t
+        inbound = sum(
+            shuffle_bytes.get(other, 0.0) for other in sites if other != site
+        )
+        row = np.zeros(num_vars)
+        row[0] = -1.0
+        row[1 + position] = inbound / problem.D(site)
+        rows.append(row)
+        bounds.append(0.0)
+        # Compute-constraint extension: reduce-processing time at i,
+        # r_i * (total intermediate) / C_i <= t, when C_i is known.
+        compute_rate = problem.compute_bps.get(site)
+        if compute_rate and total_volume > 0:
+            row = np.zeros(num_vars)
+            row[0] = -1.0
+            row[1 + position] = total_volume / compute_rate
+            rows.append(row)
+            bounds.append(0.0)
+
+    equality = np.zeros((1, num_vars))
+    equality[0, 1:] = 1.0
+    objective = np.zeros(num_vars)
+    objective[0] = 1.0
+    program = LinearProgram(
+        c=objective,
+        a_ub=np.vstack(rows),
+        b_ub=np.asarray(bounds),
+        a_eq=equality,
+        b_eq=np.asarray([1.0]),
+        variable_names=var_names,
+    )
+    solution = solve_lp(program, backend=backend)
+    fractions = {
+        site: max(0.0, float(solution.x[1 + position]))
+        for position, site in enumerate(sites)
+    }
+    total = sum(fractions.values())
+    if total <= 0:
+        raise PlacementError("task LP returned all-zero fractions")
+    fractions = {site: value / total for site, value in fractions.items()}
+    return fractions, float(solution.x[0]), solution
+
+
+def shuffle_bytes_after_moves(problem: PlacementProblem, moves: Moves) -> Dict[str, float]:
+    """Per-site total shuffle volume F_i = sum_a f_i^a(x) given moves."""
+    totals: Dict[str, float] = {site: 0.0 for site in problem.site_names}
+    for a in problem.dataset_ids:
+        per_dataset = {
+            (src, dst): volume
+            for (dataset, src, dst), volume in moves.items()
+            if dataset == a
+        }
+        for site in problem.site_names:
+            totals[site] += problem.shuffle_bytes(a, site, per_dataset)
+    return totals

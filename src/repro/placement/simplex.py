@@ -1,0 +1,233 @@
+"""Dense two-phase simplex (pure numpy).
+
+A fallback LP solver so the placement pipeline has no hard dependency on
+scipy's HiGHS backend, and an ablation target (`bench_ablation_lp_vs_
+simplex`) proving both backends agree on the paper's placement LPs.
+
+Solves::
+
+    min c.x   s.t.   A_ub x <= b_ub,   A_eq x = b_eq,   x >= 0
+
+with Bland's anti-cycling rule.  Suitable for the problem sizes here
+(hundreds of variables, tens of constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+
+_TOL = 1e-9
+
+
+@dataclass
+class SimplexResult:
+    """Solution of one simplex run."""
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+    status: str  # "optimal" | "infeasible" | "unbounded"
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "optimal"
+
+
+def simplex_solve(
+    c: np.ndarray,
+    a_ub: Optional[np.ndarray] = None,
+    b_ub: Optional[np.ndarray] = None,
+    a_eq: Optional[np.ndarray] = None,
+    b_eq: Optional[np.ndarray] = None,
+    max_iterations: int = 20000,
+) -> SimplexResult:
+    """Two-phase simplex for the standard-form LP above."""
+    c = np.asarray(c, dtype=float)
+    num_vars = c.shape[0]
+    rows = []
+    rhs = []
+    slack_rows = []
+    if a_ub is not None:
+        a_ub = np.atleast_2d(np.asarray(a_ub, dtype=float))
+        b_ub = np.atleast_1d(np.asarray(b_ub, dtype=float))
+        if a_ub.shape[0] != b_ub.shape[0] or a_ub.shape[1] != num_vars:
+            raise SolverError("inequality shapes are inconsistent")
+        for index in range(a_ub.shape[0]):
+            rows.append(a_ub[index])
+            rhs.append(b_ub[index])
+            slack_rows.append(len(rows) - 1)
+    if a_eq is not None:
+        a_eq = np.atleast_2d(np.asarray(a_eq, dtype=float))
+        b_eq = np.atleast_1d(np.asarray(b_eq, dtype=float))
+        if a_eq.shape[0] != b_eq.shape[0] or a_eq.shape[1] != num_vars:
+            raise SolverError("equality shapes are inconsistent")
+        for index in range(a_eq.shape[0]):
+            rows.append(a_eq[index])
+            rhs.append(b_eq[index])
+    if not rows:
+        # Unconstrained (beyond x >= 0): optimum at 0 unless some c < 0.
+        if np.any(c < -_TOL):
+            return SimplexResult(np.zeros(num_vars), -np.inf, 0, "unbounded")
+        return SimplexResult(np.zeros(num_vars), 0.0, 0, "optimal")
+
+    matrix = np.vstack(rows)
+    b = np.asarray(rhs, dtype=float)
+    num_rows = matrix.shape[0]
+
+    # Add slack columns for <= rows.
+    num_slacks = len(slack_rows)
+    slack_block = np.zeros((num_rows, num_slacks))
+    for position, row in enumerate(slack_rows):
+        slack_block[row, position] = 1.0
+    tableau_a = np.hstack([matrix, slack_block])
+
+    # Normalize to b >= 0.
+    for row in range(num_rows):
+        if b[row] < 0:
+            tableau_a[row] *= -1.0
+            b[row] *= -1.0
+
+    total_real = num_vars + num_slacks
+    basis = [-1] * num_rows
+    # A slack column can start basic if its coefficient stayed +1.
+    for position, row in enumerate(slack_rows):
+        column = num_vars + position
+        if tableau_a[row, column] == 1.0:
+            basis[row] = column
+
+    artificial_rows = [row for row in range(num_rows) if basis[row] == -1]
+    num_artificials = len(artificial_rows)
+    if num_artificials:
+        artificial_block = np.zeros((num_rows, num_artificials))
+        for position, row in enumerate(artificial_rows):
+            artificial_block[row, position] = 1.0
+            basis[row] = total_real + position
+        tableau_a = np.hstack([tableau_a, artificial_block])
+
+        phase1_c = np.zeros(tableau_a.shape[1])
+        phase1_c[total_real:] = 1.0
+        status, iterations1 = _iterate(
+            tableau_a, b, phase1_c, basis, max_iterations
+        )
+        if status != "optimal":
+            return SimplexResult(np.zeros(num_vars), 0.0, iterations1, status)
+        phase1_value = float(
+            sum(
+                phase1_c[basis[row]] * b[row]
+                for row in range(num_rows)
+            )
+        )
+        if phase1_value > 1e-7:
+            return SimplexResult(np.zeros(num_vars), 0.0, iterations1, "infeasible")
+        _pivot_out_artificials(tableau_a, b, basis, total_real)
+        tableau_a = tableau_a[:, :total_real]
+        basis = [col if col < total_real else -1 for col in basis]
+        if any(col == -1 for col in basis):
+            # A redundant row remained with an artificial basis: drop it.
+            keep = [row for row in range(num_rows) if basis[row] != -1]
+            tableau_a = tableau_a[keep]
+            b = b[keep]
+            basis = [basis[row] for row in keep]
+            num_rows = len(keep)
+    else:
+        iterations1 = 0
+
+    phase2_c = np.concatenate([c, np.zeros(tableau_a.shape[1] - num_vars)])
+    status, iterations2 = _iterate(tableau_a, b, phase2_c, basis, max_iterations)
+    x_full = np.zeros(tableau_a.shape[1])
+    for row, column in enumerate(basis):
+        x_full[column] = b[row]
+    x = x_full[:num_vars]
+    objective = float(c @ x)
+    return SimplexResult(x, objective, iterations1 + iterations2, status)
+
+
+def _iterate(
+    tableau_a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    basis: list,
+    max_iterations: int,
+) -> Tuple[str, int]:
+    """Run simplex iterations in place (revised tableau style)."""
+    num_rows = tableau_a.shape[0]
+    # Put the tableau into canonical form for the current basis.
+    for row in range(num_rows):
+        column = basis[row]
+        pivot = tableau_a[row, column]
+        if abs(pivot) < _TOL:
+            raise SolverError("degenerate basis during canonicalization")
+        tableau_a[row] /= pivot
+        b[row] /= pivot
+        for other in range(num_rows):
+            if other != row and abs(tableau_a[other, column]) > _TOL:
+                factor = tableau_a[other, column]
+                tableau_a[other] -= factor * tableau_a[row]
+                b[other] -= factor * b[row]
+
+    degenerate_streak = 0
+    for iteration in range(max_iterations):
+        # Reduced costs: c_j - c_B . A_j
+        c_basis = c[basis]
+        reduced = c - c_basis @ tableau_a
+        reduced[basis] = 0.0
+        entering_candidates = np.where(reduced < -_TOL)[0]
+        if entering_candidates.size == 0:
+            return "optimal", iteration
+        # Dantzig's rule converges fast; switch to Bland's anti-cycling
+        # rule after a run of degenerate pivots.
+        if degenerate_streak < 20:
+            entering = int(entering_candidates[np.argmin(reduced[entering_candidates])])
+        else:
+            entering = int(entering_candidates[0])
+
+        column = tableau_a[:, entering]
+        positive = column > _TOL
+        if not positive.any():
+            return "unbounded", iteration
+        ratios = np.full(num_rows, np.inf)
+        ratios[positive] = b[positive] / column[positive]
+        best = ratios.min()
+        # Smallest basis index among tied rows (Bland-compatible).
+        tied = [row for row in range(num_rows) if ratios[row] <= best + _TOL]
+        leaving = min(tied, key=lambda row: basis[row])
+        degenerate_streak = degenerate_streak + 1 if best <= _TOL else 0
+
+        pivot = tableau_a[leaving, entering]
+        tableau_a[leaving] /= pivot
+        b[leaving] /= pivot
+        for row in range(num_rows):
+            if row != leaving and abs(tableau_a[row, entering]) > _TOL:
+                factor = tableau_a[row, entering]
+                tableau_a[row] -= factor * tableau_a[leaving]
+                b[row] -= factor * b[leaving]
+        basis[leaving] = entering
+    raise SolverError(f"simplex exceeded {max_iterations} iterations")
+
+
+def _pivot_out_artificials(
+    tableau_a: np.ndarray, b: np.ndarray, basis: list, total_real: int
+) -> None:
+    """Swap basic artificials for real columns where possible."""
+    num_rows = tableau_a.shape[0]
+    for row in range(num_rows):
+        if basis[row] < total_real:
+            continue
+        candidates = np.where(np.abs(tableau_a[row, :total_real]) > _TOL)[0]
+        if candidates.size == 0:
+            continue  # redundant row; caller drops it
+        entering = int(candidates[0])
+        pivot = tableau_a[row, entering]
+        tableau_a[row] /= pivot
+        b[row] /= pivot
+        for other in range(num_rows):
+            if other != row and abs(tableau_a[other, entering]) > _TOL:
+                factor = tableau_a[other, entering]
+                tableau_a[other] -= factor * tableau_a[row]
+                b[other] -= factor * b[row]
+        basis[row] = entering

@@ -1,0 +1,102 @@
+"""LP solving front-end: scipy (HiGHS) with a pure-Python simplex fallback.
+
+All placement LPs flow through :func:`solve_lp`, which also times the
+solve — those timings are what Table 5 reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.placement.simplex import simplex_solve
+
+
+@dataclass
+class LinearProgram:
+    """min c.x subject to A_ub x <= b_ub, A_eq x = b_eq, x >= 0."""
+
+    c: np.ndarray
+    a_ub: Optional[np.ndarray] = None
+    b_ub: Optional[np.ndarray] = None
+    a_eq: Optional[np.ndarray] = None
+    b_eq: Optional[np.ndarray] = None
+    variable_names: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float)
+        if self.variable_names and len(self.variable_names) != self.c.shape[0]:
+            raise SolverError("variable_names length must match c")
+
+    @property
+    def num_variables(self) -> int:
+        return int(self.c.shape[0])
+
+
+@dataclass
+class LpSolution:
+    """Solved LP with timing."""
+
+    x: np.ndarray
+    objective: float
+    solve_seconds: float
+    backend: str
+
+    def value_of(self, program: LinearProgram, name: str) -> float:
+        try:
+            index = program.variable_names.index(name)
+        except ValueError:
+            raise SolverError(f"unknown variable {name!r}") from None
+        return float(self.x[index])
+
+
+def solve_lp(program: LinearProgram, backend: str = "auto") -> LpSolution:
+    """Solve the LP; ``backend`` is ``"auto"``, ``"scipy"`` or ``"simplex"``.
+
+    ``auto`` prefers scipy and silently falls back to the built-in simplex
+    if scipy is unavailable.  Raises :class:`SolverError` on infeasible or
+    unbounded problems.
+    """
+    if backend not in ("auto", "scipy", "simplex"):
+        raise SolverError(f"unknown backend {backend!r}")
+    started = time.perf_counter()
+    if backend in ("auto", "scipy"):
+        try:
+            from scipy.optimize import linprog
+        except ImportError:
+            if backend == "scipy":
+                raise SolverError("scipy is not installed") from None
+            linprog = None
+        if linprog is not None:
+            result = linprog(
+                c=program.c,
+                A_ub=program.a_ub,
+                b_ub=program.b_ub,
+                A_eq=program.a_eq,
+                b_eq=program.b_eq,
+                bounds=(0, None),
+                method="highs",
+            )
+            if not result.success:
+                raise SolverError(f"scipy linprog failed: {result.message}")
+            return LpSolution(
+                x=np.asarray(result.x, dtype=float),
+                objective=float(result.fun),
+                solve_seconds=time.perf_counter() - started,
+                backend="scipy",
+            )
+    result = simplex_solve(
+        program.c, program.a_ub, program.b_ub, program.a_eq, program.b_eq
+    )
+    if not result.ok:
+        raise SolverError(f"simplex failed: {result.status}")
+    return LpSolution(
+        x=result.x,
+        objective=result.objective,
+        solve_seconds=time.perf_counter() - started,
+        backend="simplex",
+    )

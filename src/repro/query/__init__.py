@@ -1,0 +1,23 @@
+"""Queries: specification, SQL parsing, UDFs, profiling, compilation.
+
+Recurring queries are the unit of optimization in Bohr: each query type
+(the set of attributes accessed) is served by a dimension cube, profiled
+for its data-reduction ratio, and compiled into an engine job spec.
+"""
+
+from repro.query.compiler import compile_query
+from repro.query.pagerank import pagerank, pagerank_scores_from_records
+from repro.query.parser import parse_sql
+from repro.query.profiler import ReductionProfiler
+from repro.query.spec import QueryClass, QuerySpec, RecurringQuery
+
+__all__ = [
+    "QueryClass",
+    "QuerySpec",
+    "RecurringQuery",
+    "ReductionProfiler",
+    "compile_query",
+    "pagerank",
+    "pagerank_scores_from_records",
+    "parse_sql",
+]

@@ -1,0 +1,63 @@
+"""Data-reduction-ratio estimation (§7).
+
+"For data reduction ratio, it can be estimated with recurring queries
+that perform the same analytics.  We use the input and actual
+intermediate data size of the previous query at each site to calculate
+the data reduction ratio to be used for the next recurring query."
+
+The profiler keeps per-(dataset, query-type) EWMA estimates of
+map-output / input, fed from engine job results; until a query type has
+run once, the class default from :mod:`repro.query.spec` applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.engine.job import JobResult
+from repro.errors import QueryError
+from repro.query.spec import QuerySpec
+
+_ProfileKey = Tuple[str, Tuple[str, ...]]
+
+
+@dataclass
+class ReductionProfiler:
+    """Learns R^a per (dataset, query type) from observed executions."""
+
+    alpha: float = 0.5
+    _estimates: Dict[_ProfileKey, float] = field(default_factory=dict)
+    _samples: Dict[_ProfileKey, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha <= 1.0:
+            raise QueryError("alpha must be in (0, 1]")
+
+    def observe(self, spec: QuerySpec, result: JobResult) -> None:
+        """Fold one finished job into the estimate for its query type."""
+        input_bytes = sum(m.input_bytes for m in result.per_site.values())
+        map_output = sum(m.map_output_bytes for m in result.per_site.values())
+        if input_bytes <= 0:
+            return
+        ratio = min(max(map_output / input_bytes, 1e-6), 1.0)
+        key = (spec.dataset_id, spec.query_type)
+        previous = self._estimates.get(key)
+        if previous is None:
+            self._estimates[key] = ratio
+        else:
+            self._estimates[key] = self.alpha * ratio + (1 - self.alpha) * previous
+        self._samples[key] = self._samples.get(key, 0) + 1
+
+    def ratio_for(self, spec: QuerySpec) -> float:
+        """Best current estimate: learned if available, else class default."""
+        learned = self._estimates.get((spec.dataset_id, spec.query_type))
+        if learned is not None:
+            return learned
+        return spec.default_reduction_ratio()
+
+    def samples_for(self, spec: QuerySpec) -> int:
+        return self._samples.get((spec.dataset_id, spec.query_type), 0)
+
+    def is_profiled(self, spec: QuerySpec) -> bool:
+        return (spec.dataset_id, spec.query_type) in self._estimates

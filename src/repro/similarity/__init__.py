@@ -1,0 +1,46 @@
+"""Similarity machinery (§4, §6).
+
+Cross-site dataset similarity is estimated with *probes* built from the
+top cells of OLAP dimension cubes; runtime RDD-partition similarity uses a
+Jaccard-modified DIMSUM algorithm plus k-means clustering.  High-dimension
+feature vectors (the paper's image datasets) go through a vector space
+model and locality sensitive hashing.
+"""
+
+from repro.similarity.checker import SimilarityChecker, SiteSimilarity
+from repro.similarity.dimsum import DimsumConfig, dimsum_similarity_matrix
+from repro.similarity.kmeans import KMeansResult, kmeans
+from repro.similarity.lsh import CosineLSH, MinHashLSH
+from repro.similarity.metrics import (
+    cosine_similarity,
+    intra_similarity,
+    jaccard,
+    overlap_coefficient,
+    weighted_jaccard,
+)
+from repro.similarity.minhash import MinHasher, MinHashSignature
+from repro.similarity.probes import Probe, ProbeBuilder, ProbeRecord
+from repro.similarity.vsm import VectorSpaceModel, synthetic_image_features
+
+__all__ = [
+    "CosineLSH",
+    "DimsumConfig",
+    "KMeansResult",
+    "MinHashLSH",
+    "MinHashSignature",
+    "MinHasher",
+    "Probe",
+    "ProbeBuilder",
+    "ProbeRecord",
+    "SimilarityChecker",
+    "SiteSimilarity",
+    "VectorSpaceModel",
+    "cosine_similarity",
+    "dimsum_similarity_matrix",
+    "intra_similarity",
+    "jaccard",
+    "kmeans",
+    "overlap_coefficient",
+    "synthetic_image_features",
+    "weighted_jaccard",
+]

@@ -1,0 +1,102 @@
+"""Locality sensitive hashing (§4.2, [18]).
+
+Two LSH schemes:
+
+- :class:`MinHashLSH` — banding over MinHash signatures, for set-valued
+  records (log keys).  Candidate pairs are those agreeing on at least one
+  band.
+- :class:`CosineLSH` — random-hyperplane signatures that compress
+  high-dimensional feature vectors (the paper's image datasets) into
+  short bit strings whose Hamming similarity tracks cosine similarity.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import SimilarityError
+from repro.similarity.minhash import MinHasher, MinHashSignature
+from repro.util.rng import derive_rng
+
+
+class MinHashLSH:
+    """Banded MinHash index producing candidate similar pairs."""
+
+    def __init__(self, num_hashes: int = 64, bands: int = 16, seed: int = 7) -> None:
+        if bands < 1 or num_hashes % bands != 0:
+            raise SimilarityError(
+                f"bands ({bands}) must divide num_hashes ({num_hashes})"
+            )
+        self.hasher = MinHasher(num_hashes=num_hashes, seed=seed)
+        self.bands = bands
+        self.rows_per_band = num_hashes // bands
+
+    def candidate_pairs(
+        self, sets: Sequence[Iterable[object]]
+    ) -> Set[Tuple[int, int]]:
+        """Index all sets and return candidate (i, j) pairs with i < j."""
+        signatures = self.hasher.signatures(sets)
+        buckets: Dict[Tuple[int, Tuple[int, ...]], List[int]] = defaultdict(list)
+        for index, signature in enumerate(signatures):
+            for band in range(self.bands):
+                start = band * self.rows_per_band
+                chunk = signature.values[start : start + self.rows_per_band]
+                buckets[(band, chunk)].append(index)
+        pairs: Set[Tuple[int, int]] = set()
+        for members in buckets.values():
+            for position, left in enumerate(members):
+                for right in members[position + 1 :]:
+                    pairs.add((min(left, right), max(left, right)))
+        return pairs
+
+    def signature(self, items: Iterable[object]) -> MinHashSignature:
+        return self.hasher.signature(items)
+
+
+class CosineLSH:
+    """Random-hyperplane LSH reducing vector dimensionality (§4.2).
+
+    Each of ``num_bits`` random hyperplanes contributes one sign bit; the
+    fraction of agreeing bits between two signatures estimates
+    ``1 − θ/π`` where θ is the angle between the vectors.
+    """
+
+    def __init__(self, input_dim: int, num_bits: int = 64, seed: int = 7) -> None:
+        if input_dim < 1:
+            raise SimilarityError("input_dim must be >= 1")
+        if num_bits < 1:
+            raise SimilarityError("num_bits must be >= 1")
+        self.input_dim = input_dim
+        self.num_bits = num_bits
+        rng = derive_rng(seed, "cosine-lsh")
+        self._planes = rng.standard_normal((num_bits, input_dim))
+
+    def signature(self, vector: Sequence[float]) -> np.ndarray:
+        """Bit signature (array of 0/1) of one vector."""
+        arr = np.asarray(vector, dtype=float)
+        if arr.shape != (self.input_dim,):
+            raise SimilarityError(
+                f"expected vector of dim {self.input_dim}, got shape {arr.shape}"
+            )
+        return (self._planes @ arr >= 0.0).astype(np.uint8)
+
+    def signatures(self, vectors: Sequence[Sequence[float]]) -> np.ndarray:
+        matrix = np.asarray(vectors, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != self.input_dim:
+            raise SimilarityError(
+                f"expected (n, {self.input_dim}) matrix, got {matrix.shape}"
+            )
+        return (matrix @ self._planes.T >= 0.0).astype(np.uint8)
+
+    @staticmethod
+    def estimate_cosine(sig_left: np.ndarray, sig_right: np.ndarray) -> float:
+        """Estimated cosine similarity from two bit signatures."""
+        if sig_left.shape != sig_right.shape:
+            raise SimilarityError("signature shapes differ")
+        agreement = float(np.mean(sig_left == sig_right))
+        theta = (1.0 - agreement) * math.pi
+        return math.cos(theta)

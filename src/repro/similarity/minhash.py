@@ -1,0 +1,84 @@
+"""MinHash signatures for Jaccard estimation.
+
+Used two ways: inside the Jaccard-modified DIMSUM (§6) — records collide
+when any of their m hash values match — and by :class:`MinHashLSH` to
+prune dissimilar pairs cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimilarityError
+from repro.util.rng import derive_rng
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def _stable_hash(item: object) -> int:
+    """Deterministic 64-bit hash of an item (run-to-run stable)."""
+    import hashlib
+
+    digest = hashlib.blake2b(repr(item).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+@dataclass(frozen=True)
+class MinHashSignature:
+    """The m minimum hash values of one set."""
+
+    values: Tuple[int, ...]
+
+    def estimate_jaccard(self, other: "MinHashSignature") -> float:
+        """Fraction of matching signature slots ≈ Jaccard similarity."""
+        if len(self.values) != len(other.values):
+            raise SimilarityError(
+                f"signature lengths differ: {len(self.values)} vs {len(other.values)}"
+            )
+        matches = sum(
+            1 for mine, theirs in zip(self.values, other.values) if mine == theirs
+        )
+        return matches / len(self.values)
+
+    def collides_with(self, other: "MinHashSignature") -> bool:
+        """True when any of the m hash slots agree (the DIMSUM map test)."""
+        return any(
+            mine == theirs for mine, theirs in zip(self.values, other.values)
+        )
+
+
+class MinHasher:
+    """A family of m universal hash functions h(x) = (a·x + b) mod p."""
+
+    def __init__(self, num_hashes: int = 64, seed: int = 7) -> None:
+        if num_hashes < 1:
+            raise SimilarityError("num_hashes must be >= 1")
+        self.num_hashes = num_hashes
+        rng = derive_rng(seed, "minhash")
+        self._a = rng.integers(1, _MERSENNE_PRIME, size=num_hashes, dtype=np.uint64)
+        self._b = rng.integers(0, _MERSENNE_PRIME, size=num_hashes, dtype=np.uint64)
+
+    def signature(self, items: Iterable[object]) -> MinHashSignature:
+        """MinHash signature of a set of items.
+
+        The signature of an empty set is all ``_MAX_HASH`` sentinel values,
+        which never collide with real hashes.
+        """
+        hashes = np.array(
+            [_stable_hash(item) & _MAX_HASH for item in set(items)], dtype=np.uint64
+        )
+        if hashes.size == 0:
+            return MinHashSignature(tuple([_MAX_HASH + 1] * self.num_hashes))
+        # (m, n) matrix of permuted hashes, min over items per hash fn.
+        permuted = (
+            self._a[:, None] * hashes[None, :] + self._b[:, None]
+        ) % _MERSENNE_PRIME
+        mins = (permuted % (_MAX_HASH + 1)).min(axis=1)
+        return MinHashSignature(tuple(int(value) for value in mins))
+
+    def signatures(self, sets: Sequence[Iterable[object]]) -> List[MinHashSignature]:
+        return [self.signature(items) for items in sets]

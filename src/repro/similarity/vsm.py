@@ -1,0 +1,99 @@
+"""Vector space model and synthetic image features (§4.1).
+
+Image datasets cannot be aggregated directly; the paper extracts feature
+vectors per image (VSM, [29]) and builds cubes over those.  We provide
+(1) a hashing VSM for text — term frequency vectors in a fixed dimension,
+and (2) a synthetic image-feature generator that produces clustered
+feature vectors, standing in for a real extractor while exercising the
+same downstream path (LSH → similarity → cube dimensions).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import re
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimilarityError
+from repro.util.rng import derive_rng
+
+_TOKEN_RE = re.compile(r"[A-Za-z0-9]+")
+
+
+class VectorSpaceModel:
+    """Hashing term-frequency vectorizer with L2 normalization."""
+
+    def __init__(self, dim: int = 128, normalize: bool = True) -> None:
+        if dim < 1:
+            raise SimilarityError("dim must be >= 1")
+        self.dim = dim
+        self.normalize = normalize
+
+    def _bucket(self, token: str) -> int:
+        digest = hashlib.blake2b(token.lower().encode(), digest_size=4).digest()
+        return int.from_bytes(digest, "little") % self.dim
+
+    def transform(self, text: str) -> np.ndarray:
+        """Map one document to its term-frequency vector."""
+        vector = np.zeros(self.dim, dtype=float)
+        for token in _TOKEN_RE.findall(text):
+            vector[self._bucket(token)] += 1.0
+        if self.normalize:
+            norm = float(np.linalg.norm(vector))
+            if norm > 0.0:
+                vector /= norm
+        return vector
+
+    def transform_many(self, texts: Sequence[str]) -> np.ndarray:
+        if not texts:
+            return np.zeros((0, self.dim), dtype=float)
+        return np.stack([self.transform(text) for text in texts])
+
+
+def synthetic_image_features(
+    count: int,
+    dim: int = 64,
+    num_classes: int = 8,
+    noise: float = 0.1,
+    seed: int = 7,
+) -> Tuple[np.ndarray, List[int]]:
+    """Generate clustered feature vectors mimicking extracted image features.
+
+    Returns ``(features, labels)`` where vectors of the same label sit near
+    a shared class centroid — the structure a real extractor produces for
+    near-duplicate images, which is what makes image datasets "similar".
+    """
+    if count < 0:
+        raise SimilarityError("count must be >= 0")
+    if num_classes < 1:
+        raise SimilarityError("num_classes must be >= 1")
+    if noise < 0:
+        raise SimilarityError("noise must be >= 0")
+    rng = derive_rng(seed, "image-features", dim, num_classes)
+    centroids = rng.standard_normal((num_classes, dim))
+    centroids /= np.linalg.norm(centroids, axis=1, keepdims=True) + 1e-12
+    labels = [int(label) for label in rng.integers(0, num_classes, size=count)]
+    features = np.empty((count, dim), dtype=float)
+    for row, label in enumerate(labels):
+        sample = centroids[label] + noise * rng.standard_normal(dim)
+        norm = float(np.linalg.norm(sample))
+        features[row] = sample / norm if norm > 0 else sample
+    return features, labels
+
+
+def feature_bucket(vector: Sequence[float], buckets: int = 256) -> int:
+    """Quantize a feature vector to a coarse bucket id.
+
+    Image records enter OLAP cubes through this bucket id: images with
+    near-identical features land in the same cube cell and can be
+    aggregated — the image analogue of identical log keys.
+    """
+    arr = np.asarray(vector, dtype=float)
+    signs = (arr[: min(len(arr), int(math.log2(buckets)) if buckets > 1 else 1)] >= 0)
+    value = 0
+    for bit in signs:
+        value = (value << 1) | int(bit)
+    return value % buckets

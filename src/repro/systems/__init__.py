@@ -1,0 +1,24 @@
+"""The six evaluated schemes (§8.1) as capability profiles.
+
+=============  =====  ==========  =========  =========
+scheme         cubes  similarity  joint LP   RDD sim.
+=============  =====  ==========  =========  =========
+iridium        no     no          no         no
+iridium-c      yes    no          no         no
+bohr-sim       yes    yes         no         no
+bohr-joint     yes    yes         yes        no
+bohr-rdd       yes    yes         no         yes
+bohr           yes    yes         yes        yes
+=============  =====  ==========  =========  =========
+"""
+
+from repro.systems.base import SystemProfile, SystemConfig
+from repro.systems.registry import SCHEME_NAMES, make_system, profile_for
+
+__all__ = [
+    "SCHEME_NAMES",
+    "SystemConfig",
+    "SystemProfile",
+    "make_system",
+    "profile_for",
+]

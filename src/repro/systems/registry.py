@@ -1,0 +1,99 @@
+"""Scheme registry: names → capability profiles → controllers."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.systems.base import SystemConfig, SystemProfile
+from repro.wan.topology import WanTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.controller import Controller
+
+_PROFILES: Dict[str, SystemProfile] = {
+    # §1's baselines: vanilla in-place Spark and central aggregation.
+    "spark": SystemProfile(
+        name="spark",
+        uses_cubes=False,
+        uses_similarity=False,
+        placement_strategy="none",
+        rdd_similarity=False,
+    ),
+    "centralized": SystemProfile(
+        name="centralized",
+        uses_cubes=False,
+        uses_similarity=False,
+        placement_strategy="centralized",
+        rdd_similarity=False,
+    ),
+    # §8.1's comparison schemes.
+    "iridium": SystemProfile(
+        name="iridium",
+        uses_cubes=False,
+        uses_similarity=False,
+        placement_strategy="heuristic",
+        rdd_similarity=False,
+    ),
+    "iridium-c": SystemProfile(
+        name="iridium-c",
+        uses_cubes=True,
+        uses_similarity=False,
+        placement_strategy="heuristic",
+        rdd_similarity=False,
+    ),
+    "bohr-sim": SystemProfile(
+        name="bohr-sim",
+        uses_cubes=True,
+        uses_similarity=True,
+        placement_strategy="heuristic",
+        rdd_similarity=False,
+    ),
+    "bohr-joint": SystemProfile(
+        name="bohr-joint",
+        uses_cubes=True,
+        uses_similarity=True,
+        placement_strategy="joint",
+        rdd_similarity=False,
+    ),
+    "bohr-rdd": SystemProfile(
+        name="bohr-rdd",
+        uses_cubes=True,
+        uses_similarity=True,
+        placement_strategy="heuristic",
+        rdd_similarity=True,
+    ),
+    "bohr": SystemProfile(
+        name="bohr",
+        uses_cubes=True,
+        uses_similarity=True,
+        placement_strategy="joint",
+        rdd_similarity=True,
+    ),
+}
+
+#: All scheme names: the two §1 baselines + the paper's comparison order.
+SCHEME_NAMES = tuple(_PROFILES.keys())
+
+
+def profile_for(name: str) -> SystemProfile:
+    """Capability profile of a scheme by name."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scheme {name!r}; expected one of {SCHEME_NAMES}"
+        ) from None
+
+
+def make_system(
+    name: str, topology: WanTopology, config: Optional[SystemConfig] = None
+) -> "Controller":
+    """Instantiate a scheme's controller over a topology."""
+    from repro.core.controller import Controller
+
+    return Controller(
+        profile=profile_for(name),
+        topology=topology,
+        config=config or SystemConfig(),
+    )

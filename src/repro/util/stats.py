@@ -1,0 +1,88 @@
+"""Small statistics helpers used by metrics collection and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty input (metrics-friendly)."""
+    items = list(values)
+    if not items:
+        return 0.0
+    return sum(items) / len(items)
+
+
+def stdev(values: Iterable[float]) -> float:
+    """Sample standard deviation; 0.0 when fewer than two values."""
+    items = list(values)
+    if len(items) < 2:
+        return 0.0
+    mu = mean(items)
+    return math.sqrt(sum((value - mu) ** 2 for value in items) / (len(items) - 1))
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile, ``pct`` in [0, 100]."""
+    items = sorted(values)
+    if not items:
+        return 0.0
+    if len(items) == 1:
+        return items[0]
+    rank = (pct / 100.0) * (len(items) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return items[low]
+    frac = rank - low
+    return items[low] * (1.0 - frac) + items[high] * frac
+
+
+class RunningStats:
+    """Welford online mean/variance accumulator.
+
+    Used by the bandwidth estimator and the experiment runner so long runs
+    never hold every sample in memory.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def summary(self) -> "List[float]":
+        """Return ``[count, mean, stdev, min, max]`` for report rows."""
+        if not self.count:
+            return [0, 0.0, 0.0, 0.0, 0.0]
+        return [self.count, self.mean, self.stdev, self.minimum, self.maximum]

@@ -1,0 +1,99 @@
+"""Minimal ASCII table rendering for benchmark reports.
+
+The benchmark harness prints the same rows the paper's tables/figures
+report; this module renders them without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def bar_chart(
+    items: Sequence[tuple],
+    title: Optional[str] = None,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal ASCII bar chart; negative values extend left of a zero
+    axis (used by the data-reduction figures, which go negative at
+    similarity-agnostic receiving sites)."""
+    if width < 4:
+        raise ValueError("width must be >= 4")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not items:
+        return title or ""
+    labels = [str(label) for label, _ in items]
+    values = [float(value) for _, value in items]
+    label_width = max(len(label) for label in labels)
+    largest = max(abs(value) for value in values) or 1.0
+    has_negative = any(value < 0 for value in values)
+    if has_negative:
+        half = width // 2
+        for label, value in zip(labels, values):
+            length = int(round(abs(value) / largest * half))
+            if value < 0:
+                bar = " " * (half - length) + "#" * length + "|" + " " * half
+            else:
+                bar = " " * half + "|" + "#" * length + " " * (half - length)
+            lines.append(f"{label:>{label_width}s} {bar} {value:.2f}{unit}")
+    else:
+        for label, value in zip(labels, values):
+            length = int(round(value / largest * width))
+            lines.append(
+                f"{label:>{label_width}s} |{'#' * length:<{width}s} "
+                f"{value:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def format_table(
+    rows: Iterable[Sequence[object]],
+    headers: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Column widths adapt to content; floats are shown with two decimals.
+    """
+    text_rows: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    if headers is not None:
+        all_rows = [list(headers)] + text_rows
+    else:
+        all_rows = text_rows
+    if not all_rows:
+        return title or ""
+    num_cols = max(len(row) for row in all_rows)
+    widths = [0] * num_cols
+    for row in all_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render(row: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[index]) for index, cell in enumerate(row)]
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "+-" + "-+-".join("-" * width for width in widths) + "-+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    if headers is not None:
+        lines.append(render(all_rows[0]))
+        lines.append(separator)
+        body = all_rows[1:]
+    else:
+        body = all_rows
+    for row in body:
+        padded_row = list(row) + [""] * (num_cols - len(row))
+        lines.append(render(padded_row))
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Byte-size and bandwidth units with parsing and human-readable formatting.
+
+The WAN simulator works in bytes and bytes-per-second internally.  These
+helpers keep configuration readable (``parse_bytes("40GB")``) and reports
+legible (``format_bytes(42_949_672_960) == "40.00GB"``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ConfigurationError
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_UNIT_FACTORS = {
+    "b": 1,
+    "kb": KB,
+    "mb": MB,
+    "gb": GB,
+    "tb": TB,
+    "k": KB,
+    "m": MB,
+    "g": GB,
+    "t": TB,
+}
+
+_BYTES_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_bytes(text: "str | int | float") -> int:
+    """Parse a human byte size such as ``"40GB"`` or ``"512 mb"`` into bytes.
+
+    Numeric inputs are accepted verbatim (interpreted as bytes).  Raises
+    :class:`ConfigurationError` on malformed input or negative sizes.
+    """
+    if isinstance(text, bool):
+        raise ConfigurationError(f"cannot interpret {text!r} as a byte size")
+    if isinstance(text, (int, float)):
+        if text < 0:
+            raise ConfigurationError(f"byte size must be >= 0, got {text}")
+        return int(text)
+    match = _BYTES_RE.match(text)
+    if not match:
+        raise ConfigurationError(f"cannot parse byte size {text!r}")
+    value, unit = match.groups()
+    unit = unit.lower() or "b"
+    if unit not in _UNIT_FACTORS:
+        raise ConfigurationError(f"unknown byte unit {unit!r} in {text!r}")
+    return int(float(value) * _UNIT_FACTORS[unit])
+
+
+def parse_rate(text: "str | int | float") -> float:
+    """Parse a bandwidth such as ``"100MB/s"`` into bytes per second."""
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        if text <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {text}")
+        return float(text)
+    stripped = str(text).strip()
+    if stripped.lower().endswith("/s"):
+        stripped = stripped[:-2]
+    rate = float(parse_bytes(stripped))
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be > 0, got {text!r}")
+    return rate
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Format a byte count with a binary-unit suffix, two decimals."""
+    size = float(num_bytes)
+    for suffix, factor in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(size) >= factor:
+            return f"{size / factor:.2f}{suffix}"
+    return f"{size:.0f}B"
+
+
+def format_rate(bytes_per_sec: float) -> str:
+    """Format a bandwidth in bytes/second, e.g. ``"100.00MB/s"``."""
+    return f"{format_bytes(bytes_per_sec)}/s"
+
+
+def format_seconds(seconds: float) -> str:
+    """Format a duration compactly (``"1.53s"``, ``"2m 05s"``)."""
+    if seconds < 0:
+        return f"-{format_seconds(-seconds)}"
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m {rem:04.1f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h {minutes}m {rem:04.1f}s"

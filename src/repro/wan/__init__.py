@@ -1,0 +1,38 @@
+"""WAN substrate: geo-distributed sites, links, and transfer simulation.
+
+The paper deploys Bohr across ten AWS EC2 regions; QCT there is dominated
+by WAN shuffle transfers.  This package provides the equivalent substrate:
+
+- :class:`~repro.wan.topology.Site` / :class:`~repro.wan.topology.WanTopology`
+  describe sites with heterogeneous uplink/downlink bandwidth.
+- :func:`~repro.wan.presets.ec2_ten_sites` reproduces the paper's setup
+  (Singapore/Tokyo/Oregon 5x faster than the slowest tier, §8.1).
+- :class:`~repro.wan.transfer.TransferScheduler` simulates concurrent
+  transfers with max-min fair bandwidth sharing (progressive filling).
+- :class:`~repro.wan.estimator.BandwidthEstimator` implements the periodic
+  bandwidth estimation described in §7.
+"""
+
+from repro.wan.estimator import BandwidthEstimator
+from repro.wan.presets import ec2_ten_sites, uniform_sites
+from repro.wan.topology import Site, WanTopology
+from repro.wan.transfer import Transfer, TransferResult, TransferScheduler
+from repro.wan.variability import (
+    BandwidthProfile,
+    diurnal_profile,
+    random_walk_profile,
+)
+
+__all__ = [
+    "BandwidthEstimator",
+    "BandwidthProfile",
+    "Site",
+    "Transfer",
+    "TransferResult",
+    "TransferScheduler",
+    "WanTopology",
+    "diurnal_profile",
+    "ec2_ten_sites",
+    "random_walk_profile",
+    "uniform_sites",
+]

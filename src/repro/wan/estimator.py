@@ -1,0 +1,109 @@
+"""Bandwidth estimation (§7).
+
+Bohr "periodically checks the available bandwidth of each site, assuming
+it is relatively stable in the granularity of minutes".  The estimator
+folds observed transfer throughputs into an exponentially weighted moving
+average per (site, direction) and exposes the resulting estimated
+topology for the placement LP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.wan.topology import Site, WanTopology
+from repro.wan.transfer import TransferResult
+
+_Direction = str  # "up" | "down"
+
+
+@dataclass
+class _Ewma:
+    alpha: float
+    value: Optional[float] = None
+    samples: int = 0
+
+    def update(self, observation: float) -> None:
+        self.samples += 1
+        if self.value is None:
+            self.value = observation
+        else:
+            self.value = self.alpha * observation + (1.0 - self.alpha) * self.value
+
+
+class BandwidthEstimator:
+    """EWMA estimator of per-site uplink/downlink bandwidth."""
+
+    def __init__(self, topology: WanTopology, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError("alpha must be in (0, 1]")
+        self.topology = topology
+        self.alpha = alpha
+        self._estimates: Dict[Tuple[str, _Direction], _Ewma] = {}
+
+    def observe(self, site: str, direction: _Direction, throughput_bps: float) -> None:
+        """Record one observed throughput sample for a site link."""
+        if direction not in ("up", "down"):
+            raise ConfigurationError(f"direction must be 'up' or 'down', got {direction!r}")
+        if site not in self.topology:
+            raise ConfigurationError(f"unknown site {site!r}")
+        if throughput_bps <= 0:
+            return  # empty / degenerate transfers carry no signal
+        self._estimates.setdefault((site, direction), _Ewma(self.alpha)).update(
+            throughput_bps
+        )
+
+    def observe_transfers(self, results: List[TransferResult]) -> None:
+        """Fold a batch of finished transfers into the estimates.
+
+        A WAN transfer is a sample of both its source uplink and its
+        destination downlink (it may under-estimate whichever was not the
+        bottleneck; the EWMA and repeated sampling wash that out, which is
+        the same simplification the paper makes).
+        """
+        for result in results:
+            transfer = result.transfer
+            if transfer.src == transfer.dst:
+                continue
+            self.observe(transfer.src, "up", result.throughput_bps)
+            self.observe(transfer.dst, "down", result.throughput_bps)
+
+    def uplink(self, site: str) -> float:
+        """Estimated uplink; falls back to the configured topology value."""
+        estimate = self._estimates.get((site, "up"))
+        if estimate is None or estimate.value is None:
+            return self.topology.uplink(site)
+        return estimate.value
+
+    def downlink(self, site: str) -> float:
+        """Estimated downlink; falls back to the configured topology value."""
+        estimate = self._estimates.get((site, "down"))
+        if estimate is None or estimate.value is None:
+            return self.topology.downlink(site)
+        return estimate.value
+
+    def sample_count(self, site: str, direction: _Direction) -> int:
+        estimate = self._estimates.get((site, direction))
+        return estimate.samples if estimate else 0
+
+    def estimated_topology(self) -> WanTopology:
+        """A topology whose bandwidths are the current estimates.
+
+        The placement LP is solved against this estimated view, never the
+        ground-truth simulator topology — mirroring the deployment reality
+        that Bohr only sees measured bandwidth.
+        """
+        sites = [
+            Site(
+                name=site.name,
+                uplink_bps=self.uplink(site.name),
+                downlink_bps=self.downlink(site.name),
+                compute_bps=site.compute_bps,
+                machines=site.machines,
+                executors_per_machine=site.executors_per_machine,
+            )
+            for site in self.topology
+        ]
+        return WanTopology.from_sites(sites)

@@ -1,0 +1,88 @@
+"""Topology presets.
+
+§8.1 of the paper: ten EC2 regions; WAN bandwidth of Singapore, Tokyo and
+Oregon is about 2.5x larger than Virginia, Ohio and Frankfurt, and 5x
+larger than the rest (Seoul, Sydney, London, Ireland).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.wan.topology import Site, WanTopology
+
+#: The ten regions used in the paper's evaluation, grouped by bandwidth tier.
+FAST_REGIONS = ("singapore", "tokyo", "oregon")
+MID_REGIONS = ("virginia", "ohio", "frankfurt")
+SLOW_REGIONS = ("seoul", "sydney", "london", "ireland")
+ALL_REGIONS = FAST_REGIONS + MID_REGIONS + SLOW_REGIONS
+
+
+def ec2_ten_sites(
+    base_uplink: "str | float" = "20MB/s",
+    machines: int = 2,
+    executors_per_machine: int = 4,
+    asymmetry: float = 1.0,
+) -> WanTopology:
+    """Build the paper's ten-region EC2 topology.
+
+    ``base_uplink`` is the slowest tier's uplink; the mid tier gets 2x and
+    the fast tier 5x of it (so fast is 2.5x mid, matching §8.1).
+    ``asymmetry`` scales downlinks relative to uplinks (WAN downlinks are
+    typically at least as fast; 1.0 keeps them symmetric).
+    """
+    from repro.util.units import parse_rate
+
+    if asymmetry <= 0:
+        raise ConfigurationError("asymmetry must be > 0")
+    base = parse_rate(base_uplink)
+    tiers = {}
+    for region in FAST_REGIONS:
+        tiers[region] = 5.0 * base
+    for region in MID_REGIONS:
+        tiers[region] = 2.0 * base
+    for region in SLOW_REGIONS:
+        tiers[region] = 1.0 * base
+    sites = [
+        Site(
+            name=region,
+            uplink_bps=rate,
+            downlink_bps=rate * asymmetry,
+            machines=machines,
+            executors_per_machine=executors_per_machine,
+        )
+        for region, rate in tiers.items()
+    ]
+    return WanTopology.from_sites(sites)
+
+
+def uniform_sites(
+    count: int,
+    uplink: "str | float" = "50MB/s",
+    downlink: "Optional[str | float]" = None,
+    machines: int = 2,
+    executors_per_machine: int = 4,
+) -> WanTopology:
+    """Build ``count`` homogeneous sites named ``site-0..site-N``.
+
+    Useful in tests and microbenchmarks where bandwidth heterogeneity is
+    not the variable under study.
+    """
+    from repro.util.units import parse_rate
+
+    if count < 1:
+        raise ConfigurationError("count must be >= 1")
+    up = parse_rate(uplink)
+    down = parse_rate(downlink) if downlink is not None else up
+    sites: List[Site] = [
+        Site(
+            name=f"site-{index}",
+            uplink_bps=up,
+            downlink_bps=down,
+            machines=machines,
+            executors_per_machine=executors_per_machine,
+        )
+        for index in range(count)
+    ]
+    return WanTopology.from_sites(sites)

@@ -1,0 +1,296 @@
+"""Concurrent WAN transfer simulation with max-min fair sharing.
+
+Every transfer between two sites crosses the source site's uplink and the
+destination site's downlink (§5's bottleneck model).  When several
+transfers share a link they split its bandwidth max-min fairly, which is
+what TCP flows through a common bottleneck approximate.  The simulator is
+event driven (progressive filling recomputed at every arrival/completion),
+so staged transfer plans — data movement before the query, shuffle during
+it — get accurate finish times.
+
+Intra-site transfers never touch the WAN; they proceed at the site's LAN
+rate without modelled contention.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.wan.topology import WanTopology
+
+#: Resource key: ("up"|"down", site_name).
+_Resource = Tuple[str, str]
+
+_EPSILON_BYTES = 1e-6
+_EPSILON_TIME = 1e-12
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """A single point-to-point data transfer request."""
+
+    src: str
+    dst: str
+    num_bytes: float
+    start_time: float = 0.0
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_bytes < 0:
+            raise TopologyError(f"transfer bytes must be >= 0, got {self.num_bytes}")
+        if self.start_time < 0:
+            raise TopologyError("transfer start_time must be >= 0")
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Completion record for one transfer."""
+
+    transfer: Transfer
+    finish_time: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish_time - self.transfer.start_time
+
+    @property
+    def throughput_bps(self) -> float:
+        """Average achieved throughput; 0 for empty transfers."""
+        if self.duration <= 0:
+            return 0.0
+        return self.transfer.num_bytes / self.duration
+
+
+@dataclass
+class _Flow:
+    flow_id: int
+    transfer: Transfer
+    remaining: float
+    rate: float = 0.0
+
+
+class TransferScheduler:
+    """Simulates a batch of transfers over a :class:`WanTopology`.
+
+    The scheduler is stateless across :meth:`simulate` calls; each call
+    simulates an independent epoch starting at time zero.
+    """
+
+    def __init__(
+        self,
+        topology: WanTopology,
+        lan_bps: float = 10.0e9,
+        profiles: "Optional[Dict[str, object]]" = None,
+        propagation_seconds: float = 0.0,
+    ) -> None:
+        """``profiles`` optionally maps site name to a
+        :class:`~repro.wan.variability.BandwidthProfile` scaling both its
+        uplink and downlink over time (§2.1's bandwidth variability).
+
+        ``propagation_seconds`` adds a fixed one-way WAN latency to every
+        inter-site transfer (data only starts landing after it), modelling
+        the propagation delay of intercontinental paths; intra-site
+        transfers are unaffected.
+        """
+        if lan_bps <= 0:
+            raise TopologyError("lan_bps must be > 0")
+        if propagation_seconds < 0:
+            raise TopologyError("propagation_seconds must be >= 0")
+        self.topology = topology
+        self.lan_bps = lan_bps
+        self.profiles = profiles or {}
+        self.propagation_seconds = propagation_seconds
+        unknown = set(self.profiles) - set(topology.site_names)
+        if unknown:
+            raise TopologyError(f"profiles name unknown sites {sorted(unknown)}")
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def simulate(self, transfers: Sequence[Transfer]) -> List[TransferResult]:
+        """Simulate all transfers; returns results in input order."""
+        self._check_sites(transfers)
+        counter = itertools.count()
+        flows = [
+            _Flow(flow_id=next(counter), transfer=transfer, remaining=transfer.num_bytes)
+            for transfer in transfers
+        ]
+        pending = sorted(
+            flows,
+            key=lambda flow: (self._effective_start(flow.transfer), flow.flow_id),
+        )
+        active: List[_Flow] = []
+        finish_times: Dict[int, float] = {}
+        now = 0.0
+
+        while pending or active:
+            if not active:
+                now = max(now, self._effective_start(pending[0].transfer))
+            # Admit every flow whose (latency-adjusted) start has arrived.
+            while (
+                pending
+                and self._effective_start(pending[0].transfer)
+                <= now + _EPSILON_TIME
+            ):
+                flow = pending.pop(0)
+                if flow.remaining <= _EPSILON_BYTES:
+                    finish_times[flow.flow_id] = max(
+                        now, self._effective_start(flow.transfer)
+                    )
+                else:
+                    active.append(flow)
+            if not active:
+                continue
+
+            self._assign_rates(active, now)
+            horizon = self._next_event_in(active, pending, now)
+            next_epoch = self._next_profile_change(now)
+            if next_epoch is not None:
+                horizon = min(horizon, max(next_epoch - now, _EPSILON_TIME))
+            for flow in active:
+                flow.remaining -= flow.rate * horizon
+            now += horizon
+
+            still_active: List[_Flow] = []
+            for flow in active:
+                if flow.remaining <= _EPSILON_BYTES:
+                    finish_times[flow.flow_id] = now
+                else:
+                    still_active.append(flow)
+            active = still_active
+
+        return [
+            TransferResult(transfer=flow.transfer, finish_time=finish_times[flow.flow_id])
+            for flow in flows
+        ]
+
+    def makespan(self, transfers: Sequence[Transfer]) -> float:
+        """Time at which the last transfer completes (0.0 for none)."""
+        results = self.simulate(transfers)
+        if not results:
+            return 0.0
+        return max(result.finish_time for result in results)
+
+    def serial_time(self, transfers: Sequence[Transfer]) -> float:
+        """Naive lower-level baseline: run the transfers one at a time.
+
+        Used by the WAN-fairness ablation bench to show what ignoring link
+        sharing would predict.
+        """
+        now = 0.0
+        for transfer in transfers:
+            now = max(now, transfer.start_time)
+            if transfer.src == transfer.dst:
+                now += transfer.num_bytes / self.lan_bps
+                continue
+            rate = min(
+                self.topology.uplink(transfer.src), self.topology.downlink(transfer.dst)
+            )
+            now += transfer.num_bytes / rate
+        return now
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _effective_start(self, transfer: Transfer) -> float:
+        """Requested start plus WAN propagation for inter-site transfers."""
+        if transfer.src == transfer.dst:
+            return transfer.start_time
+        return transfer.start_time + self.propagation_seconds
+
+    def _check_sites(self, transfers: Sequence[Transfer]) -> None:
+        for transfer in transfers:
+            if transfer.src not in self.topology:
+                raise TopologyError(f"unknown source site {transfer.src!r}")
+            if transfer.dst not in self.topology:
+                raise TopologyError(f"unknown destination site {transfer.dst!r}")
+
+    def _capacity_multiplier(self, site: str, now: float) -> float:
+        profile = self.profiles.get(site)
+        if profile is None:
+            return 1.0
+        return profile.multiplier_at(now)  # type: ignore[attr-defined]
+
+    def _next_profile_change(self, now: float) -> Optional[float]:
+        upcoming = [
+            profile.next_change_after(now)  # type: ignore[attr-defined]
+            for profile in self.profiles.values()
+        ]
+        upcoming = [epoch for epoch in upcoming if epoch is not None]
+        return min(upcoming) if upcoming else None
+
+    def _assign_rates(self, active: List[_Flow], now: float = 0.0) -> None:
+        """Max-min fair (progressive filling) rate assignment."""
+        wan_flows = [flow for flow in active if flow.transfer.src != flow.transfer.dst]
+        for flow in active:
+            if flow.transfer.src == flow.transfer.dst:
+                flow.rate = self.lan_bps
+        if not wan_flows:
+            return
+
+        capacity: Dict[_Resource, float] = {}
+        users: Dict[_Resource, Set[int]] = {}
+        flow_resources: Dict[int, Tuple[_Resource, _Resource]] = {}
+        for flow in wan_flows:
+            up: _Resource = ("up", flow.transfer.src)
+            down: _Resource = ("down", flow.transfer.dst)
+            capacity.setdefault(
+                up,
+                self.topology.uplink(flow.transfer.src)
+                * self._capacity_multiplier(flow.transfer.src, now),
+            )
+            capacity.setdefault(
+                down,
+                self.topology.downlink(flow.transfer.dst)
+                * self._capacity_multiplier(flow.transfer.dst, now),
+            )
+            users.setdefault(up, set()).add(flow.flow_id)
+            users.setdefault(down, set()).add(flow.flow_id)
+            flow_resources[flow.flow_id] = (up, down)
+
+        unfrozen: Set[int] = {flow.flow_id for flow in wan_flows}
+        rates: Dict[int, float] = {}
+        while unfrozen:
+            bottleneck: Optional[_Resource] = None
+            bottleneck_share = math.inf
+            for resource, resource_users in users.items():
+                live = resource_users & unfrozen
+                if not live:
+                    continue
+                share = capacity[resource] / len(live)
+                if share < bottleneck_share:
+                    bottleneck_share = share
+                    bottleneck = resource
+            assert bottleneck is not None
+            frozen_now = users[bottleneck] & unfrozen
+            for flow_id in frozen_now:
+                rates[flow_id] = bottleneck_share
+                unfrozen.discard(flow_id)
+                for resource in flow_resources[flow_id]:
+                    capacity[resource] = max(0.0, capacity[resource] - bottleneck_share)
+
+        for flow in wan_flows:
+            flow.rate = rates[flow.flow_id]
+
+    def _next_event_in(
+        self, active: List[_Flow], pending: List[_Flow], now: float
+    ) -> float:
+        """Time until the next completion or arrival."""
+        horizon = math.inf
+        for flow in active:
+            if flow.rate > 0:
+                horizon = min(horizon, flow.remaining / flow.rate)
+        if pending:
+            horizon = min(
+                horizon,
+                max(self._effective_start(pending[0].transfer) - now, 0.0),
+            )
+        if math.isinf(horizon):
+            raise TopologyError("transfer simulation stalled (all rates zero)")
+        return max(horizon, _EPSILON_TIME)

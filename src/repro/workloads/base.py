@@ -1,0 +1,90 @@
+"""Workload container shared by all generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.query.spec import QuerySpec, RecurringQuery, query_type_weights
+from repro.types import DatasetCatalog, Schema
+
+
+@dataclass
+class WorkloadSpec:
+    """Generation knobs common to all workloads."""
+
+    records_per_site: int = 200
+    record_bytes: int = 1 * 1024 * 1024  # each record stands for 1 MB
+    num_datasets: int = 3
+    queries_per_dataset: Tuple[int, int] = (2, 10)  # §8.1: uniform 2..10
+    locality_bias: float = 0.6
+    zipf_exponent: float = 1.2
+
+    def __post_init__(self) -> None:
+        if self.records_per_site < 1:
+            raise WorkloadError("records_per_site must be >= 1")
+        if self.record_bytes < 1:
+            raise WorkloadError("record_bytes must be >= 1")
+        if self.num_datasets < 1:
+            raise WorkloadError("num_datasets must be >= 1")
+        low, high = self.queries_per_dataset
+        if not 1 <= low <= high:
+            raise WorkloadError("queries_per_dataset must satisfy 1 <= low <= high")
+        if not 0.0 <= self.locality_bias <= 1.0:
+            raise WorkloadError("locality_bias must be in [0, 1]")
+
+
+@dataclass
+class Workload:
+    """Datasets + the recurring queries that access them."""
+
+    name: str
+    catalog: DatasetCatalog
+    queries: List[RecurringQuery] = field(default_factory=list)
+    schemas: Dict[str, Schema] = field(default_factory=dict)
+
+    def queries_for(self, dataset_id: str) -> List[RecurringQuery]:
+        return [
+            query for query in self.queries if query.spec.dataset_id == dataset_id
+        ]
+
+    def schema(self, dataset_id: str) -> Schema:
+        try:
+            return self.schemas[dataset_id]
+        except KeyError:
+            raise WorkloadError(f"unknown dataset {dataset_id!r}") from None
+
+    def primary_query(self, dataset_id: str) -> QuerySpec:
+        """The dataset's dominant query (most-executed query type)."""
+        queries = self.queries_for(dataset_id)
+        if not queries:
+            raise WorkloadError(f"dataset {dataset_id!r} has no queries")
+        weights = query_type_weights(queries)
+        dominant = max(weights, key=lambda key: weights[key])
+        for query in queries:
+            if query.spec.query_type == dominant:
+                return query.spec
+        raise WorkloadError("internal error: dominant type has no query")
+
+    def key_indices(self) -> Dict[str, Tuple[int, ...]]:
+        """Per-dataset key positions of the dominant query's group-by.
+
+        Data movement selects records by these keys; queries of other
+        types use their own keys at execution time.
+        """
+        indices: Dict[str, Tuple[int, ...]] = {}
+        for dataset in self.catalog:
+            spec = self.primary_query(dataset.dataset_id)
+            schema = self.schema(dataset.dataset_id)
+            indices[dataset.dataset_id] = tuple(
+                schema.index(name) for name in spec.group_by
+            )
+        return indices
+
+    def query_type_weights_for(self, dataset_id: str):
+        return query_type_weights(self.queries_for(dataset_id))
+
+    @property
+    def dataset_ids(self) -> List[str]:
+        return [dataset.dataset_id for dataset in self.catalog]

@@ -1,0 +1,105 @@
+"""AMPLab big-data benchmark workload (§8.1, [1, 26]).
+
+Web-log datasets with three query classes: simple scans, aggregations,
+and a UDF computing simplified PageRank.  The schema matches the
+benchmark's ranking/visit logs (url, score, date, region, agent).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.query.parser import parse_sql
+from repro.query.spec import RecurringQuery
+from repro.types import DatasetCatalog
+from repro.util.rng import derive_rng
+from repro.wan.topology import WanTopology
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.placement_init import (
+    InitialPlacement,
+    assign_records,
+    region_names_for,
+)
+from repro.workloads.synthetic import (
+    SyntheticDatasetConfig,
+    generate_records,
+    log_schema,
+)
+
+_FLAVOURS = ("scan", "udf", "aggregation", "all")
+
+
+def _queries_for_flavour(dataset_id: str, flavour: str):
+    # The scan projects categorical columns, so identical projected rows
+    # collapse in the combiner (numeric score would make every row unique).
+    scan = parse_sql(f"SELECT url, region FROM {dataset_id}")
+    udf = parse_sql(f"SELECT pagerank(url, score) FROM {dataset_id}")
+    aggregation = parse_sql(
+        f"SELECT url, SUM(score) FROM {dataset_id} GROUP BY url"
+    )
+    region_aggregation = parse_sql(
+        f"SELECT region, COUNT(url) FROM {dataset_id} GROUP BY region"
+    )
+    if flavour == "scan":
+        return [scan]
+    if flavour == "udf":
+        return [udf]
+    if flavour == "aggregation":
+        return [aggregation, region_aggregation]
+    return [scan, udf, aggregation, region_aggregation]
+
+
+def bigdata_workload(
+    topology: WanTopology,
+    placement: InitialPlacement = InitialPlacement.RANDOM,
+    seed: int = 7,
+    scale: float = 1.0,
+    flavour: str = "all",
+    spec: Optional[WorkloadSpec] = None,
+) -> Workload:
+    """Build the big-data workload over the given topology.
+
+    ``flavour`` restricts the query mix to one class ("scan", "udf",
+    "aggregation") or mixes all of them ("all", the default).
+    """
+    if flavour not in _FLAVOURS:
+        raise WorkloadError(f"flavour must be one of {_FLAVOURS}, got {flavour!r}")
+    if scale <= 0:
+        raise WorkloadError("scale must be > 0")
+    spec = spec or WorkloadSpec()
+    schema = log_schema()
+    regions = region_names_for(topology)
+    config = SyntheticDatasetConfig(
+        locality_bias=spec.locality_bias, zipf_exponent=spec.zipf_exponent
+    )
+    rng = derive_rng(seed, "bigdata-workload")
+
+    catalog = DatasetCatalog()
+    workload = Workload(name=f"bigdata-{flavour}", catalog=catalog)
+    total_records = max(1, int(spec.records_per_site * len(topology) * scale))
+    for index in range(spec.num_datasets):
+        dataset_id = f"bigdata-{index}"
+        records = generate_records(
+            dataset_id,
+            regions,
+            count=total_records // spec.num_datasets,
+            record_bytes=spec.record_bytes,
+            config=config,
+            seed=seed + index,
+        )
+        dataset = assign_records(
+            dataset_id, schema, records, topology, placement, seed=seed + index
+        )
+        catalog.add(dataset)
+        workload.schemas[dataset_id] = schema
+
+        base_queries = _queries_for_flavour(dataset_id, flavour)
+        low, high = spec.queries_per_dataset
+        num_queries = int(rng.integers(low, high + 1))
+        for position in range(num_queries):
+            query_spec = base_queries[position % len(base_queries)]
+            query = RecurringQuery(spec=query_spec)
+            query.executions = int(rng.integers(1, 50))
+            workload.queries.append(query)
+    return workload

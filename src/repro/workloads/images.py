@@ -1,0 +1,137 @@
+"""Image workload: the paper's second data type (§4.1).
+
+Images cannot be aggregated directly, so Bohr extracts feature vectors
+(vector space model), reduces their dimensionality with LSH, and builds
+cubes over the resulting coarse buckets — images whose features land in
+the same bucket are near-duplicates the combiner can merge.
+
+This generator synthesizes clustered feature vectors (standing in for a
+real extractor), runs them through :class:`CosineLSH` +
+:func:`feature_bucket`, and emits records whose ``bucket`` attribute is
+the cube key.  Everything downstream — probes, similarity checking,
+placement, execution — is the ordinary Bohr pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.query.parser import parse_sql
+from repro.query.spec import RecurringQuery
+from repro.similarity.lsh import CosineLSH
+from repro.similarity.vsm import feature_bucket, synthetic_image_features
+from repro.types import DatasetCatalog, Record, Schema
+from repro.util.rng import derive_rng
+from repro.wan.topology import WanTopology
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.placement_init import (
+    InitialPlacement,
+    assign_records,
+    region_names_for,
+)
+
+
+def image_schema() -> Schema:
+    return Schema.of(
+        "bucket", "label", "region", "date", "feature_norm",
+        kinds={"feature_norm": "numeric"},
+    )
+
+
+def images_workload(
+    topology: WanTopology,
+    placement: InitialPlacement = InitialPlacement.RANDOM,
+    seed: int = 7,
+    scale: float = 1.0,
+    spec: Optional[WorkloadSpec] = None,
+    feature_dim: int = 64,
+    num_classes: int = 12,
+    lsh_bits: int = 32,
+    noise: float = 0.08,
+) -> Workload:
+    """Build the image workload over the given topology.
+
+    Per region, images are drawn from shared visual classes; the feature
+    extractor + LSH maps near-duplicates to the same bucket, so buckets
+    play the role URLs play for logs.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be > 0")
+    spec = spec or WorkloadSpec(num_datasets=2)
+    schema = image_schema()
+    regions = region_names_for(topology)
+    rng = derive_rng(seed, "images-workload")
+    lsh = CosineLSH(input_dim=feature_dim, num_bits=lsh_bits, seed=seed)
+
+    catalog = DatasetCatalog()
+    workload = Workload(name="images", catalog=catalog)
+    total_records = max(1, int(spec.records_per_site * len(topology) * scale))
+    per_dataset = total_records // spec.num_datasets
+    for index in range(spec.num_datasets):
+        dataset_id = f"images-{index}"
+        records = _generate_image_records(
+            dataset_id, regions, per_dataset, spec.record_bytes,
+            lsh, feature_dim, num_classes, noise, seed + index,
+        )
+        dataset = assign_records(
+            dataset_id, schema, records, topology, placement, seed=seed + index
+        )
+        catalog.add(dataset)
+        workload.schemas[dataset_id] = schema
+
+        sql_queries = [
+            f"SELECT bucket, COUNT(label) FROM {dataset_id} GROUP BY bucket",
+            f"SELECT label, COUNT(bucket) FROM {dataset_id} GROUP BY label",
+            f"SELECT region, date, COUNT(bucket) FROM {dataset_id} "
+            f"GROUP BY region, date",
+        ]
+        low, high = spec.queries_per_dataset
+        num_queries = int(rng.integers(low, high + 1))
+        for position in range(num_queries):
+            query = RecurringQuery(
+                spec=parse_sql(sql_queries[position % len(sql_queries)])
+            )
+            query.executions = int(rng.integers(1, 50))
+            workload.queries.append(query)
+    return workload
+
+
+def _generate_image_records(
+    dataset_id: str,
+    regions: List[str],
+    count: int,
+    record_bytes: int,
+    lsh: CosineLSH,
+    feature_dim: int,
+    num_classes: int,
+    noise: float,
+    seed: int,
+    num_days: int = 10,
+) -> List[Record]:
+    features, labels = synthetic_image_features(
+        count, dim=feature_dim, num_classes=num_classes, noise=noise, seed=seed
+    )
+    rng = derive_rng(seed, "images", dataset_id)
+    days = [f"2018-07-{day:02d}" for day in range(1, num_days + 1)]
+    records: List[Record] = []
+    region_choices = rng.integers(0, len(regions), size=count)
+    signatures = lsh.signatures(features) if count else np.zeros((0, 0))
+    for position in range(count):
+        signature = signatures[position]
+        bucket = feature_bucket(signature.astype(float) * 2.0 - 1.0, buckets=256)
+        records.append(
+            Record(
+                values=(
+                    f"b{bucket:03d}",
+                    f"class-{labels[position]}",
+                    regions[int(region_choices[position])],
+                    days[int(rng.integers(0, num_days))],
+                    float(np.round(np.linalg.norm(features[position]), 4)),
+                ),
+                size_bytes=record_bytes,
+            )
+        )
+    return records

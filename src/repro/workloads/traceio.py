@@ -1,0 +1,104 @@
+"""Dataset trace import/export (JSONL).
+
+Downstream users bring their own logs: a trace file carries one header
+line (schema + dataset id) followed by one record per line with its
+site, values and serialized size.  Round-trips are exact, so generated
+workloads can be frozen to disk and experiments replayed on them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.types import Attribute, GeoDataset, Record, Schema
+
+_FORMAT = "repro-trace-v1"
+
+
+def save_dataset(dataset: GeoDataset, schema: Schema, path: "str | Path") -> int:
+    """Write one dataset as JSONL; returns the number of records written."""
+    lines: List[str] = [
+        json.dumps(
+            {
+                "format": _FORMAT,
+                "dataset_id": dataset.dataset_id,
+                "schema": [
+                    {"name": attribute.name, "kind": attribute.kind}
+                    for attribute in schema.attributes
+                ],
+            }
+        )
+    ]
+    count = 0
+    for site, records in dataset.shards.items():
+        for record in records:
+            schema.validate_record(record)
+            lines.append(
+                json.dumps(
+                    {
+                        "site": site,
+                        "values": list(record.values),
+                        "size_bytes": record.size_bytes,
+                    }
+                )
+            )
+            count += 1
+    Path(path).write_text("\n".join(lines) + "\n")
+    return count
+
+
+def load_dataset(path: "str | Path") -> "tuple[GeoDataset, Schema]":
+    """Read a trace file back into a dataset + schema."""
+    text = Path(path).read_text()
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise WorkloadError(f"trace file {path} is empty")
+    header = json.loads(lines[0])
+    if header.get("format") != _FORMAT:
+        raise WorkloadError(
+            f"unsupported trace format {header.get('format')!r} in {path}"
+        )
+    schema = Schema(
+        tuple(
+            Attribute(column["name"], column["kind"])
+            for column in header["schema"]
+        )
+    )
+    dataset = GeoDataset(header["dataset_id"], schema)
+    for line in lines[1:]:
+        payload = json.loads(line)
+        record = Record(
+            values=tuple(payload["values"]),
+            size_bytes=payload["size_bytes"],
+        )
+        dataset.add_records(payload["site"], [record])
+    return dataset, schema
+
+
+def save_catalog(
+    datasets: Dict[str, "tuple[GeoDataset, Schema]"], directory: "str | Path"
+) -> List[Path]:
+    """Write several datasets, one trace file each, into a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for name, (dataset, schema) in datasets.items():
+        path = directory / f"{name}.jsonl"
+        save_dataset(dataset, schema, path)
+        paths.append(path)
+    return paths
+
+
+def load_catalog(directory: "str | Path") -> Dict[str, "tuple[GeoDataset, Schema]"]:
+    """Load every ``*.jsonl`` trace in a directory."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise WorkloadError(f"{directory} is not a directory")
+    loaded: Dict[str, "tuple[GeoDataset, Schema]"] = {}
+    for path in sorted(directory.glob("*.jsonl")):
+        dataset, schema = load_dataset(path)
+        loaded[dataset.dataset_id] = (dataset, schema)
+    return loaded

@@ -1,0 +1,96 @@
+"""Controller cube-serving fast path tests (Table 6's query path)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.parser import parse_sql
+from repro.systems.base import SystemConfig
+from repro.systems.registry import make_system
+from repro.wan.presets import uniform_sites
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.tpcds import tpcds_workload
+
+TOPOLOGY = uniform_sites(3, uplink="1MB/s", machines=1, executors_per_machine=2)
+CONFIG = SystemConfig(lag_seconds=600.0, partition_records=8)
+
+
+def prepared(scheme="bohr-sim"):
+    workload = tpcds_workload(
+        TOPOLOGY, seed=21,
+        spec=WorkloadSpec(records_per_site=20, record_bytes=10_000,
+                          num_datasets=1),
+    )
+    controller = make_system(scheme, TOPOLOGY, CONFIG)
+    controller.prepare(workload)
+    return controller, workload
+
+
+class TestCubeServing:
+    def test_count_matches_raw_data(self):
+        controller, workload = prepared()
+        dataset_id = workload.dataset_ids[0]
+        query = parse_sql(
+            f"SELECT item, COUNT(revenue) FROM {dataset_id} GROUP BY item"
+        )
+        answers = controller.answer_aggregation(workload, query)
+        counts = answers["COUNT(revenue)"]
+        # Ground truth from the raw records.
+        dataset = workload.catalog.get(dataset_id)
+        schema = workload.schema(dataset_id)
+        item_index = schema.index("item")
+        expected = {}
+        for record in dataset.all_records():
+            key = (record.values[item_index],)
+            expected[key] = expected.get(key, 0.0) + 1.0
+        assert counts == expected
+
+    def test_sum_uses_cube_measure(self):
+        controller, workload = prepared()
+        dataset_id = workload.dataset_ids[0]
+        # The TPC-DS queries aggregate SUM(revenue): cubes carry it.
+        query = parse_sql(
+            f"SELECT item, SUM(revenue) FROM {dataset_id} GROUP BY item"
+        )
+        answers = controller.answer_aggregation(workload, query)
+        dataset = workload.catalog.get(dataset_id)
+        schema = workload.schema(dataset_id)
+        item_index = schema.index("item")
+        revenue_index = schema.index("revenue")
+        expected = {}
+        for record in dataset.all_records():
+            key = (record.values[item_index],)
+            expected[key] = expected.get(key, 0.0) + float(
+                record.values[revenue_index]
+            )
+        got = answers["SUM(revenue)"]
+        assert set(got) == set(expected)
+        for key, value in expected.items():
+            assert got[key] == pytest.approx(value)
+
+    def test_answers_survive_data_movement(self):
+        # prepare() moved records between sites; merged cube answers are
+        # global and therefore unchanged.
+        controller, workload = prepared("bohr")
+        assert controller.preparation.movement is not None
+        dataset_id = workload.dataset_ids[0]
+        query = parse_sql(
+            f"SELECT region, COUNT(item) FROM {dataset_id} GROUP BY region"
+        )
+        answers = controller.answer_aggregation(workload, query)
+        total = sum(answers["COUNT(item)"].values())
+        assert total == workload.catalog.get(dataset_id).total_records
+
+    def test_cube_less_scheme_rejects(self):
+        controller, workload = prepared("iridium")
+        query = parse_sql(
+            f"SELECT item, COUNT(revenue) FROM {workload.dataset_ids[0]} "
+            "GROUP BY item"
+        )
+        with pytest.raises(QueryError):
+            controller.answer_aggregation(workload, query)
+
+    def test_unprepared_dataset_rejects(self):
+        controller, workload = prepared()
+        query = parse_sql("SELECT a, COUNT(b) FROM ghost GROUP BY a")
+        with pytest.raises(QueryError):
+            controller.answer_aggregation(workload, query)

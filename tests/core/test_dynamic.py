@@ -1,0 +1,123 @@
+"""Dynamic-dataset protocol tests (§8.6)."""
+
+import pytest
+
+from repro.core.dynamic import (
+    DynamicRunResult,
+    initial_workload_from_feeds,
+    run_dynamic,
+)
+from repro.errors import ConfigurationError
+from repro.systems.base import SystemConfig
+from repro.systems.registry import make_system
+from repro.wan.presets import uniform_sites
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.bigdata import bigdata_workload
+from repro.workloads.dynamic import DynamicDataFeed
+
+TOPOLOGY = uniform_sites(3, uplink="1MB/s", machines=1, executors_per_machine=2)
+CONFIG = SystemConfig(lag_seconds=600.0, partition_records=8)
+
+
+def template_workload():
+    return bigdata_workload(
+        TOPOLOGY,
+        seed=6,
+        spec=WorkloadSpec(records_per_site=24, record_bytes=20_000, num_datasets=1),
+        flavour="aggregation",
+    )
+
+
+def make_feeds(template, num_batches=4):
+    return {
+        dataset.dataset_id: DynamicDataFeed.split(
+            dataset, initial_fraction=0.25, num_batches=num_batches
+        )
+        for dataset in template.catalog
+    }
+
+
+class TestInitialWorkload:
+    def test_holds_initial_slice_only(self):
+        template = template_workload()
+        feeds = make_feeds(template)
+        initial = initial_workload_from_feeds(template, feeds)
+        total_template = sum(d.total_records for d in template.catalog)
+        total_initial = sum(d.total_records for d in initial.catalog)
+        assert 0 < total_initial < total_template
+        assert initial.name.endswith("-dynamic")
+
+    def test_datasets_without_feed_copied(self):
+        template = template_workload()
+        initial = initial_workload_from_feeds(template, {})
+        assert sum(d.total_records for d in initial.catalog) == sum(
+            d.total_records for d in template.catalog
+        )
+        # Copies, not aliases: mutating one does not touch the template.
+        first = next(iter(initial.catalog))
+        site = next(iter(first.shards))
+        first.shards[site].clear()
+        assert next(iter(template.catalog)).shard(site)
+
+
+class TestRunDynamic:
+    def run(self, scheme="bohr-sim", num_queries=6, replan_every=3):
+        template = template_workload()
+        feeds = make_feeds(template)
+        workload = initial_workload_from_feeds(template, feeds)
+        controller = make_system(scheme, TOPOLOGY, CONFIG)
+        return run_dynamic(
+            controller, workload, feeds,
+            num_queries=num_queries, replan_every=replan_every,
+        ), workload, feeds
+
+    def test_queries_executed_and_data_grows(self):
+        result, workload, feeds = self.run()
+        assert len(result.qcts) == 6
+        assert all(qct >= 0.0 for qct in result.qcts)
+        assert result.batches_applied > 0
+        assert all(feed.exhausted for feed in feeds.values())
+
+    def test_replans_counted(self):
+        result, _, _ = self.run(num_queries=6, replan_every=3)
+        # prepare at t=0, then after queries 3 (not after 6: run ends).
+        assert result.replans == 2
+
+    def test_mean_qct(self):
+        result, _, _ = self.run(num_queries=4)
+        assert result.mean_qct == pytest.approx(sum(result.qcts) / 4)
+
+    def test_empty_result_mean(self):
+        assert DynamicRunResult().mean_qct == 0.0
+
+    def test_validation(self):
+        template = template_workload()
+        feeds = make_feeds(template)
+        workload = initial_workload_from_feeds(template, feeds)
+        controller = make_system("iridium", TOPOLOGY, CONFIG)
+        with pytest.raises(ConfigurationError):
+            run_dynamic(controller, workload, feeds, num_queries=0)
+        with pytest.raises(ConfigurationError):
+            run_dynamic(controller, workload, feeds, num_queries=2, replan_every=0)
+        with pytest.raises(ConfigurationError):
+            run_dynamic(controller, workload, {"ghost": list(feeds.values())[0]},
+                        num_queries=2)
+
+    def test_dynamic_close_to_static_qct(self):
+        """Table 7: dynamic QCT is very similar to the normal setting."""
+        template = template_workload()
+        feeds = make_feeds(template)
+        workload = initial_workload_from_feeds(template, feeds)
+        controller = make_system("bohr-sim", TOPOLOGY, CONFIG)
+        dynamic = run_dynamic(
+            controller, workload, feeds, num_queries=5, replan_every=5
+        )
+        # Static: same scheme over the full data from the start.
+        static_workload = template_workload()
+        static = make_system("bohr-sim", TOPOLOGY, CONFIG)
+        static.prepare(static_workload)
+        static_results = static.run_all_queries(static_workload, limit=5)
+        static_mean = sum(r.qct for r in static_results) / len(static_results)
+        # Dynamic runs on growing (smaller) data, so its mean QCT must not
+        # blow up past the static setting by more than a small factor.
+        assert dynamic.mean_qct <= static_mean * 1.5 + 1e-6

@@ -1,0 +1,116 @@
+"""Persistence round-trip and CLI tests."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import (
+    load_results,
+    result_from_dict,
+    result_to_dict,
+    save_results,
+)
+from repro.core.runner import run_experiment
+from repro.errors import ConfigurationError
+from repro.systems.base import SystemConfig
+from repro.wan.presets import uniform_sites
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.bigdata import bigdata_workload
+
+TOPOLOGY = uniform_sites(3, uplink="1MB/s", machines=1, executors_per_machine=2)
+
+
+@pytest.fixture(scope="module")
+def result():
+    def factory():
+        return bigdata_workload(
+            TOPOLOGY, seed=2,
+            spec=WorkloadSpec(records_per_site=15, record_bytes=20_000,
+                              num_datasets=1),
+            flavour="aggregation",
+        )
+
+    return run_experiment(
+        "bohr-sim", factory, TOPOLOGY,
+        SystemConfig(lag_seconds=600.0, partition_records=8), query_limit=3,
+    )
+
+
+class TestPersistence:
+    def test_round_trip_preserves_metrics(self, result):
+        clone = result_from_dict(result_to_dict(result))
+        assert clone.system == result.system
+        assert clone.workload == result.workload
+        assert clone.mean_qct == pytest.approx(result.mean_qct)
+        assert clone.baseline_mean_qct == pytest.approx(result.baseline_mean_qct)
+        assert clone.data_reduction_by_site() == result.data_reduction_by_site()
+        assert clone.prep.lp_solve_seconds == result.prep.lp_solve_seconds
+        assert clone.prep.reduce_fractions == result.prep.reduce_fractions
+        assert clone.prep.cross_similarity == result.prep.cross_similarity
+
+    def test_dict_is_json_safe(self, result):
+        json.dumps(result_to_dict(result))
+
+    def test_save_and_load(self, result, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([result, result], path)
+        loaded = load_results(path)
+        assert len(loaded) == 2
+        assert loaded[0].mean_qct == pytest.approx(result.mean_qct)
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "results": []}))
+        with pytest.raises(ConfigurationError):
+            load_results(path)
+
+
+class TestCli:
+    def test_schemes_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["schemes"]) == 0
+        output = capsys.readouterr().out
+        assert "bohr" in output
+        assert "iridium-c" in output
+        assert "centralized" in output
+
+    def test_topology_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["topology", "--base-uplink", "1MB/s"]) == 0
+        output = capsys.readouterr().out
+        assert "tokyo" in output
+        assert "singapore" in output
+
+    def test_run_command_writes_json(self, capsys, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "out.json"
+        code = main([
+            "run", "--scheme", "bohr-sim", "--workload", "tpcds",
+            "--queries", "2", "--scale", "0.2", "--lag", "4",
+            "--json", str(path),
+        ])
+        assert code == 0
+        assert "mean QCT" in capsys.readouterr().out
+        loaded = load_results(path)
+        assert loaded[0].system == "bohr-sim"
+
+    def test_compare_command(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "compare", "--schemes", "spark,iridium",
+            "--workload", "facebook", "--queries", "2", "--scale", "0.2",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Mean QCT" in output
+        assert "spark" in output
+
+    def test_unknown_scheme_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "--scheme", "hadoop"])

@@ -1,0 +1,87 @@
+"""Experiment runner and report helper tests."""
+
+import pytest
+
+from repro.core.report import (
+    data_reduction_by_site,
+    mean_qct_by_workload,
+    render_qct_table,
+    render_reduction_table,
+    summarize_reduction,
+)
+from repro.core.runner import run_experiment
+from repro.systems.base import SystemConfig
+from repro.wan.presets import uniform_sites
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.bigdata import bigdata_workload
+
+TOPOLOGY = uniform_sites(3, uplink="1MB/s", machines=1, executors_per_machine=2)
+CONFIG = SystemConfig(lag_seconds=600.0, partition_records=8)
+
+
+def factory():
+    return bigdata_workload(
+        TOPOLOGY,
+        seed=4,
+        spec=WorkloadSpec(records_per_site=20, record_bytes=50_000, num_datasets=2),
+        flavour="aggregation",
+    )
+
+
+@pytest.fixture(scope="module")
+def bohr_result():
+    return run_experiment("bohr-sim", factory, TOPOLOGY, CONFIG, query_limit=4)
+
+
+@pytest.fixture(scope="module")
+def iridium_result():
+    return run_experiment("iridium", factory, TOPOLOGY, CONFIG, query_limit=4)
+
+
+class TestRunExperiment:
+    def test_runs_recorded(self, bohr_result):
+        assert len(bohr_result.runs) == 4
+        assert len(bohr_result.baseline_runs) == 4
+        assert bohr_result.mean_qct > 0.0
+        assert bohr_result.baseline_mean_qct > 0.0
+
+    def test_baseline_is_identical_data(self, bohr_result):
+        # Baseline and scheme ran the same queries on equal-size inputs.
+        scheme_queries = [run.query_text for run in bohr_result.runs]
+        baseline_queries = [run.query_text for run in bohr_result.baseline_runs]
+        assert scheme_queries == baseline_queries
+
+    def test_data_reduction_covers_sites(self, bohr_result):
+        reductions = bohr_result.data_reduction_by_site()
+        assert set(reductions) <= set(TOPOLOGY.site_names)
+        for value in reductions.values():
+            assert value <= 100.0
+
+    def test_scheme_beats_own_baseline(self, bohr_result):
+        assert bohr_result.mean_qct <= bohr_result.baseline_mean_qct
+
+    def test_mean_data_reduction_scalar(self, bohr_result):
+        assert isinstance(bohr_result.mean_data_reduction, float)
+
+
+class TestReportHelpers:
+    def test_mean_qct_by_workload(self, bohr_result, iridium_result):
+        table = mean_qct_by_workload([bohr_result, iridium_result])
+        assert "bigdata-aggregation" in table
+        assert set(table["bigdata-aggregation"]) == {"bohr-sim", "iridium"}
+
+    def test_data_reduction_by_site(self, bohr_result):
+        table = data_reduction_by_site([bohr_result])
+        for site, per_system in table.items():
+            assert "bohr-sim" in per_system
+
+    def test_summarize(self, bohr_result):
+        summary = summarize_reduction(bohr_result)
+        assert summary["worst"] <= summary["mean"] <= summary["best"]
+
+    def test_render_tables(self, bohr_result, iridium_result):
+        qct_table = render_qct_table([iridium_result, bohr_result], title="Fig 6")
+        assert "Fig 6" in qct_table
+        assert "iridium" in qct_table
+        reduction_table = render_reduction_table([bohr_result], title="Fig 8")
+        assert "(%)" in reduction_table

@@ -1,0 +1,151 @@
+"""Multi-stage DAG execution tests."""
+
+import pytest
+
+from repro.engine.dag import (
+    DagResult,
+    JoinStage,
+    MapReduceStage,
+    execute_dag,
+)
+from repro.engine.job import MapReduceEngine
+from repro.engine.join import JoinSpec
+from repro.engine.spec import MapReduceSpec
+from repro.errors import EngineError
+from repro.types import GeoDataset, Record, Schema
+from repro.wan.presets import uniform_sites
+
+LOGS = Schema.of("url", "region", "score", kinds={"score": "numeric"})
+PAGES = Schema.of("url", "owner")
+
+
+def engine():
+    return MapReduceEngine(uniform_sites(2, uplink=10_000.0), partition_records=8)
+
+
+def logs():
+    dataset = GeoDataset("logs", LOGS)
+    dataset.add_records(
+        "site-0",
+        [Record(("u1", "asia", 1), 100), Record(("u1", "eu", 1), 100),
+         Record(("u2", "asia", 1), 100)],
+    )
+    dataset.add_records(
+        "site-1",
+        [Record(("u2", "asia", 1), 100), Record(("u3", "eu", 1), 100)],
+    )
+    return dataset
+
+
+def pages():
+    dataset = GeoDataset("pages", PAGES)
+    dataset.add_records(
+        "site-1", [Record(("u1", "alice"), 100), Record(("u2", "bob"), 100)]
+    )
+    return dataset
+
+
+class TestStageValidation:
+    def test_key_names_arity(self):
+        with pytest.raises(EngineError):
+            MapReduceStage("s", "logs", MapReduceSpec.of([0, 1], 1.0),
+                           key_names=("url",))
+        with pytest.raises(EngineError):
+            JoinStage("j", "a", "b", JoinSpec((0,), (0,)),
+                      key_names=("url", "extra"))
+
+
+class TestSingleStage:
+    def test_map_reduce_materialization(self):
+        stage = MapReduceStage(
+            "by_url", "logs", MapReduceSpec.of([0], 1.0), key_names=("url",)
+        )
+        dag = execute_dag(engine(), {"logs": logs()}, [stage])
+        output = dag.output_of("by_url")
+        # One output record per distinct url, counts aggregated globally.
+        by_key = {r.values[0]: r.values[1] for r in output.all_records()}
+        assert by_key == {"u1": 2, "u2": 2, "u3": 1}
+        assert dag.total_qct > 0.0
+
+    def test_output_lives_at_reduce_sites(self):
+        stage = MapReduceStage(
+            "by_url", "logs", MapReduceSpec.of([0], 1.0), key_names=("url",)
+        )
+        dag = execute_dag(
+            engine(), {"logs": logs()}, [stage],
+            reduce_fractions={"site-0": 1.0},
+        )
+        output = dag.output_of("by_url")
+        assert len(output.shard("site-0")) == 3
+        assert len(output.shard("site-1")) == 0
+
+
+class TestChainedStages:
+    def test_two_stage_pipeline(self):
+        # Stage 1: count per (url, region); stage 2: re-aggregate per url.
+        first = MapReduceStage(
+            "by_url_region", "logs",
+            MapReduceSpec.of([0, 1], 1.0), key_names=("url", "region"),
+        )
+        second = MapReduceStage(
+            "by_url", "by_url_region",
+            MapReduceSpec.of([0], 1.0), key_names=("url",),
+        )
+        dag = execute_dag(engine(), {"logs": logs()}, [first, second])
+        final = dag.output_of("by_url")
+        # u1 appears in 2 (url, region) groups, u2 in 1, u3 in 1.
+        by_key = {r.values[0]: r.values[1] for r in final.all_records()}
+        assert by_key == {"u1": 2, "u2": 1, "u3": 1}
+        # Sequential stages: total >= each stage's QCT.
+        first_exec, second_exec = dag.executions
+        assert second_exec.start_time == pytest.approx(first_exec.finish_time)
+        assert dag.total_qct == pytest.approx(second_exec.finish_time)
+
+    def test_join_then_aggregate(self):
+        join = JoinStage(
+            "matched", "logs", "pages", JoinSpec((0,), (0,)),
+            key_names=("url",),
+        )
+        rollup = MapReduceStage(
+            "total", "matched", MapReduceSpec.of([0], 1.0), key_names=("url",),
+        )
+        dag = execute_dag(engine(), {"logs": logs(), "pages": pages()},
+                          [join, rollup])
+        matched = dag.output_of("matched")
+        rows = {r.values[0]: r.values[1] for r in matched.all_records()}
+        # u1: 2 log rows x 1 page; u2: 2 x 1; u3 unmatched.
+        assert rows == {"u1": 2, "u2": 2}
+        assert dag.result_of("matched").joined_records == 4
+        assert dag.total_qct >= dag.executions[0].finish_time
+
+
+class TestDagValidation:
+    def test_unknown_reference(self):
+        stage = MapReduceStage(
+            "s", "ghost", MapReduceSpec.of([0], 1.0), key_names=("k",)
+        )
+        with pytest.raises(EngineError):
+            execute_dag(engine(), {"logs": logs()}, [stage])
+
+    def test_forward_reference_rejected(self):
+        later = MapReduceStage(
+            "later", "logs", MapReduceSpec.of([0], 1.0), key_names=("url",)
+        )
+        early = MapReduceStage(
+            "early", "later", MapReduceSpec.of([0], 1.0), key_names=("url",)
+        )
+        with pytest.raises(EngineError):
+            execute_dag(engine(), {"logs": logs()}, [early, later])
+
+    def test_duplicate_name_rejected(self):
+        stage = MapReduceStage(
+            "logs", "logs", MapReduceSpec.of([0], 1.0), key_names=("url",)
+        )
+        with pytest.raises(EngineError):
+            execute_dag(engine(), {"logs": logs()}, [stage])
+
+    def test_missing_output_lookup(self):
+        dag = DagResult()
+        with pytest.raises(EngineError):
+            dag.output_of("nope")
+        assert dag.total_qct == 0.0

@@ -1,0 +1,123 @@
+"""Property-based engine invariants over random datasets."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.job import MapReduceEngine
+from repro.engine.spec import MapReduceSpec
+from repro.types import GeoDataset, Record, Schema
+from repro.wan.presets import uniform_sites
+
+SCHEMA = Schema.of("k", "v", kinds={"v": "numeric"})
+
+
+@st.composite
+def geo_datasets(draw):
+    num_sites = draw(st.integers(min_value=1, max_value=3))
+    dataset = GeoDataset("d", SCHEMA)
+    for site_index in range(num_sites):
+        keys = draw(
+            st.lists(st.sampled_from("abcdefgh"), min_size=0, max_size=25)
+        )
+        dataset.add_records(
+            f"site-{site_index}",
+            [Record((key, 1), size_bytes=100) for key in keys],
+        )
+    return dataset, num_sites
+
+
+class TestEngineInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(data=geo_datasets(), ratio=st.floats(min_value=0.1, max_value=1.0))
+    def test_volume_conservation(self, data, ratio):
+        dataset, num_sites = data
+        topology = uniform_sites(3, uplink=1000.0)
+        engine = MapReduceEngine(topology, partition_records=4)
+        result = engine.run(dataset, MapReduceSpec.of([0], ratio))
+        total_shuffled = sum(
+            m.uploaded_bytes + m.local_shuffle_bytes
+            for m in result.per_site.values()
+        )
+        # Everything combined is shuffled somewhere; nothing vanishes.
+        assert total_shuffled == pytest.approx(result.total_intermediate_bytes)
+        uploaded = sum(m.uploaded_bytes for m in result.per_site.values())
+        downloaded = sum(m.downloaded_bytes for m in result.per_site.values())
+        assert uploaded == pytest.approx(downloaded)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=geo_datasets())
+    def test_intermediate_bounds(self, data):
+        dataset, _ = data
+        topology = uniform_sites(3, uplink=1000.0)
+        engine = MapReduceEngine(topology, partition_records=4)
+        result = engine.run(dataset, MapReduceSpec.of([0], 1.0))
+        for metrics in result.per_site.values():
+            # Combining never inflates and never produces fewer bytes
+            # than one record per distinct key present at the site.
+            assert metrics.intermediate_bytes <= metrics.map_output_bytes + 1e-9
+            assert metrics.map_output_bytes <= metrics.input_bytes + 1e-9
+            assert 0.0 <= metrics.combine_savings < 1.0 or (
+                metrics.map_output_bytes == 0
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=geo_datasets())
+    def test_cube_sorted_bounded_by_cluster_splits(self, data):
+        """Sorted chunking can split each cluster only at partition
+        boundaries: per site, combined records <= distinct keys +
+        (partitions - 1).  (Strict per-instance dominance over raw order
+        does not hold — raw order can colocate clusters by luck — but
+        this bound does, and it is what makes cube sorting effective.)"""
+        dataset, _ = data
+        topology = uniform_sites(3, uplink=1000.0)
+        engine = MapReduceEngine(topology, partition_records=4)
+        sorted_run = engine.run(dataset, MapReduceSpec.of([0], 1.0),
+                                cube_sorted=True)
+        for site in topology.site_names:
+            shard = dataset.shard(site)
+            if not shard:
+                continue
+            distinct = len({record.values[0] for record in shard})
+            partitions = -(-len(shard) // 4)  # ceil division
+            metrics = sorted_run.per_site[site]
+            assert metrics.intermediate_records <= distinct + partitions - 1
+            assert metrics.intermediate_records >= distinct
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=geo_datasets())
+    def test_qct_nonnegative_and_bounded_by_serial(self, data):
+        dataset, _ = data
+        topology = uniform_sites(3, uplink=1000.0)
+        engine = MapReduceEngine(topology, partition_records=4)
+        result = engine.run(dataset, MapReduceSpec.of([0], 1.0))
+        assert result.qct >= 0.0
+        # Sanity ceiling: QCT is below shipping ALL input serially over
+        # one slow uplink plus generous compute time.
+        total_input = sum(m.input_bytes for m in result.per_site.values())
+        ceiling = total_input / 1000.0 * 10 + 1.0
+        assert result.qct <= ceiling
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        data=geo_datasets(),
+        fractions_seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_reduce_fractions_do_not_change_intermediate(self, data, fractions_seed):
+        dataset, _ = data
+        topology = uniform_sites(3, uplink=1000.0)
+        engine = MapReduceEngine(topology, partition_records=4)
+        spec = MapReduceSpec.of([0], 1.0)
+        import numpy as np
+
+        rng = np.random.default_rng(fractions_seed)
+        weights = rng.random(3) + 0.01
+        fractions = {
+            f"site-{i}": float(w / weights.sum()) for i, w in enumerate(weights)
+        }
+        uniform = engine.run(dataset, spec)
+        skewed = engine.run(dataset, spec, reduce_fractions=fractions)
+        # Task placement changes WHERE data goes, not how much exists.
+        assert skewed.total_intermediate_bytes == pytest.approx(
+            uniform.total_intermediate_bytes
+        )

@@ -1,0 +1,97 @@
+"""WHERE-pushdown filter tests (map-stage equality predicates)."""
+
+import pytest
+
+from repro.engine.job import MapReduceEngine
+from repro.engine.spec import MapReduceSpec
+from repro.errors import EngineError
+from repro.query.compiler import compile_query
+from repro.query.parser import parse_sql
+from repro.types import GeoDataset, Record, Schema
+from repro.wan.presets import uniform_sites
+
+SCHEMA = Schema.of("url", "region", "score", kinds={"score": "numeric"})
+
+
+def dataset():
+    geo = GeoDataset("logs", SCHEMA)
+    geo.add_records(
+        "site-0",
+        [
+            Record(("u1", "asia", 1), size_bytes=100),
+            Record(("u1", "asia", 2), size_bytes=100),
+            Record(("u2", "eu", 3), size_bytes=100),
+            Record(("u3", "asia", 4), size_bytes=100),
+        ],
+    )
+    return geo
+
+
+class TestSpecFilters:
+    def test_matches(self):
+        spec = MapReduceSpec.of([0], 1.0, filters=[(1, "asia")])
+        assert spec.matches(Record(("u1", "asia", 1)))
+        assert not spec.matches(Record(("u1", "eu", 1)))
+
+    def test_no_filters_matches_all(self):
+        spec = MapReduceSpec.of([0], 1.0)
+        assert spec.matches(Record(("anything",)))
+
+    def test_multiple_filters_conjunction(self):
+        spec = MapReduceSpec.of([0], 1.0, filters=[(1, "asia"), (0, "u1")])
+        assert spec.matches(Record(("u1", "asia", 1)))
+        assert not spec.matches(Record(("u2", "asia", 1)))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(EngineError):
+            MapReduceSpec.of([0], 1.0, filters=[(-1, "x")])
+
+    def test_out_of_range_index_raises_at_match(self):
+        spec = MapReduceSpec.of([0], 1.0, filters=[(9, "x")])
+        with pytest.raises(EngineError):
+            spec.matches(Record(("u1",)))
+
+
+class TestEngineFilters:
+    def test_filtered_records_emit_nothing(self):
+        engine = MapReduceEngine(uniform_sites(1))
+        spec = MapReduceSpec.of([0], 1.0, filters=[(1, "asia")])
+        result = engine.run(dataset(), spec)
+        metrics = result.per_site["site-0"]
+        # 3 of 4 records are asia; u1 combines.
+        assert metrics.map_output_bytes == 300.0
+        assert metrics.intermediate_records == 2  # u1, u3
+        assert metrics.input_records == 4  # still read everything
+
+    def test_filter_excluding_everything(self):
+        engine = MapReduceEngine(uniform_sites(1))
+        spec = MapReduceSpec.of([0], 1.0, filters=[(1, "mars")])
+        result = engine.run(dataset(), spec)
+        assert result.per_site["site-0"].intermediate_bytes == 0.0
+
+    def test_compiled_sql_filter(self):
+        engine = MapReduceEngine(uniform_sites(1))
+        query = parse_sql(
+            "SELECT url, COUNT(score) FROM logs WHERE region = 'eu' GROUP BY url"
+        )
+        job_spec = compile_query(query, SCHEMA)
+        result = engine.run(dataset(), job_spec)
+        assert result.per_site["site-0"].intermediate_records == 1  # u2 only
+
+    def test_filter_reduces_qct(self):
+        topology = uniform_sites(2, uplink=1000.0)
+        geo = GeoDataset("logs", SCHEMA)
+        geo.add_records(
+            "site-0",
+            [Record((f"u{i}", "asia" if i % 2 else "eu", i), size_bytes=1000)
+             for i in range(20)],
+        )
+        engine = MapReduceEngine(topology)
+        unfiltered = engine.run(geo, MapReduceSpec.of([0], 1.0),
+                                reduce_fractions={"site-1": 1.0})
+        filtered = engine.run(
+            geo,
+            MapReduceSpec.of([0], 1.0, filters=[(1, "asia")]),
+            reduce_fractions={"site-1": 1.0},
+        )
+        assert filtered.qct < unfiltered.qct

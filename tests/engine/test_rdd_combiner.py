@@ -1,0 +1,136 @@
+"""RDD partitioning and combiner tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.engine.combiner import CombinedOutput, CombinedRecord, combine
+from repro.engine.rdd import make_partitions, round_robin
+from repro.errors import EngineError
+from repro.types import Record
+
+
+def records_with_keys(keys, size=100):
+    return [Record((key,), size_bytes=size) for key in keys]
+
+
+class TestMakePartitions:
+    def test_chunking(self):
+        partitions = make_partitions(records_with_keys("abcdefg"), "x", 3)
+        assert [p.num_records for p in partitions] == [3, 3, 1]
+        assert [p.partition_id for p in partitions] == [0, 1, 2]
+        assert all(p.site == "x" for p in partitions)
+
+    def test_start_id(self):
+        partitions = make_partitions(records_with_keys("ab"), "x", 1, start_id=10)
+        assert [p.partition_id for p in partitions] == [10, 11]
+
+    def test_cube_sorted_clusters_keys(self):
+        records = records_with_keys(["b", "a", "b", "a"])
+        partitions = make_partitions(
+            records, "x", 2, key_indices=[0], cube_sorted=True
+        )
+        assert partitions[0].key_set([0]) == {("a",)}
+        assert partitions[1].key_set([0]) == {("b",)}
+
+    def test_raw_order_preserved(self):
+        records = records_with_keys(["b", "a", "c"])
+        partitions = make_partitions(records, "x", 10)
+        assert [r.values[0] for r in partitions[0].records] == ["b", "a", "c"]
+
+    def test_cube_sorted_requires_key_indices(self):
+        with pytest.raises(EngineError):
+            make_partitions(records_with_keys("ab"), "x", 1, cube_sorted=True)
+
+    def test_empty_records(self):
+        assert make_partitions([], "x", 4) == []
+
+    def test_bad_partition_size(self):
+        with pytest.raises(EngineError):
+            make_partitions(records_with_keys("a"), "x", 0)
+
+    def test_size_bytes(self):
+        partitions = make_partitions(records_with_keys("ab", size=50), "x", 10)
+        assert partitions[0].size_bytes == 100
+
+
+class TestRoundRobin:
+    def test_deal(self):
+        assert round_robin([1, 2, 3, 4, 5], 2) == [[1, 3, 5], [2, 4]]
+
+    def test_more_buckets_than_items(self):
+        assert round_robin([1], 3) == [[1], [], []]
+
+    def test_zero_buckets(self):
+        with pytest.raises(EngineError):
+            round_robin([1], 0)
+
+
+class TestCombine:
+    def test_identical_keys_merge(self):
+        output = combine(records_with_keys(["a", "a", "a"]), [0], 1.0)
+        assert output.num_records == 1
+        assert output.records[("a",)].merged_count == 3
+        assert output.total_bytes == 100.0
+        assert output.map_output_bytes == 300.0
+
+    def test_reduction_ratio_scales_sizes(self):
+        output = combine(records_with_keys(["a", "b"]), [0], 0.5)
+        assert output.total_bytes == 100.0
+        assert output.map_output_bytes == 100.0
+
+    def test_combine_savings(self):
+        output = combine(records_with_keys(["a", "a", "b", "c"]), [0], 1.0)
+        assert output.combine_savings == pytest.approx(0.25)
+
+    def test_empty(self):
+        output = combine([], [0], 1.0)
+        assert output.num_records == 0
+        assert output.combine_savings == 0.0
+
+    def test_bad_ratio(self):
+        with pytest.raises(EngineError):
+            combine([], [0], 0.0)
+        with pytest.raises(EngineError):
+            combine([], [0], 1.5)
+
+    def test_figure1a_inplace(self):
+        # Tokyo: UrlA x3 -> 1 record. Oregon: A,B,B,C -> 3. Total 4.
+        tokyo = combine(records_with_keys(["A", "A", "A"]), [0], 1.0)
+        oregon = combine(records_with_keys(["A", "B", "B", "C"]), [0], 1.0)
+        assert tokyo.num_records + oregon.num_records == 4
+
+    def test_figure1b_agnostic_move(self):
+        # Move one B from Oregon->Tokyo? No: paper moves Url-B from Tokyo.
+        # Reproduce: Tokyo had A,A,A,B ; Oregon A,B,C -> 2 + 3 = 5 records.
+        tokyo = combine(records_with_keys(["A", "A", "A", "B"]), [0], 1.0)
+        oregon = combine(records_with_keys(["A", "B", "C"]), [0], 1.0)
+        assert tokyo.num_records + oregon.num_records == 5
+
+    def test_figure1c_similarity_aware_move(self):
+        # Tokyo A,A,A,A ; Oregon B,B,C -> 1 + 2 = 3 records.
+        tokyo = combine(records_with_keys(["A", "A", "A", "A"]), [0], 1.0)
+        oregon = combine(records_with_keys(["B", "B", "C"]), [0], 1.0)
+        assert tokyo.num_records + oregon.num_records == 3
+
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=60))
+    def test_distinct_key_invariant(self, keys):
+        output = combine(records_with_keys(keys), [0], 1.0)
+        assert output.num_records == len(set(keys))
+        assert output.map_output_records == len(keys)
+        assert 0.0 <= output.combine_savings < 1.0
+
+
+class TestCombinedOutput:
+    def test_absorb_merges_keys(self):
+        left = combine(records_with_keys(["a", "b"]), [0], 1.0)
+        right = combine(records_with_keys(["b", "c"]), [0], 1.0)
+        left.absorb(right)
+        assert left.num_records == 3
+        assert left.records[("b",)].merged_count == 2
+        assert left.map_output_records == 4
+
+    def test_merge_key_mismatch(self):
+        record = CombinedRecord(("a",), 1, 10.0)
+        with pytest.raises(EngineError):
+            record.merge(CombinedRecord(("b",), 1, 10.0))

@@ -1,0 +1,153 @@
+"""Concurrent execution (run_many) and join-stage tests."""
+
+import pytest
+
+from repro.engine.job import MapReduceEngine
+from repro.engine.join import JoinResult, JoinSpec, run_join
+from repro.engine.spec import MapReduceSpec
+from repro.errors import EngineError
+from repro.types import GeoDataset, Record, Schema
+from repro.wan.presets import uniform_sites
+from repro.wan.topology import Site, WanTopology
+
+LOGS = Schema.of("url", "score", kinds={"score": "numeric"})
+PAGES = Schema.of("url", "owner")
+
+
+def logs_dataset(keys, site="site-0"):
+    dataset = GeoDataset("logs", LOGS)
+    dataset.add_records(site, [Record((k, 1), size_bytes=100) for k in keys])
+    return dataset
+
+
+def pages_dataset(keys, site="site-1"):
+    dataset = GeoDataset("pages", PAGES)
+    dataset.add_records(site, [Record((k, f"owner-{k}"), size_bytes=100) for k in keys])
+    return dataset
+
+
+class TestRunMany:
+    def test_single_job_matches_run(self):
+        engine = MapReduceEngine(uniform_sites(2, uplink=1000.0))
+        dataset = logs_dataset(["a", "b", "a"])
+        spec = MapReduceSpec.of([0], 1.0)
+        single = engine.run(dataset, spec)
+        [many] = engine.run_many([(dataset, spec)])
+        assert many.qct == pytest.approx(single.qct)
+        assert (
+            many.total_intermediate_bytes == single.total_intermediate_bytes
+        )
+
+    def test_empty_jobs(self):
+        engine = MapReduceEngine(uniform_sites(2))
+        assert engine.run_many([]) == []
+
+    def test_concurrent_jobs_contend_for_wan(self):
+        # Two identical jobs sharing one uplink: each slower than alone.
+        topology = WanTopology.from_sites(
+            [Site("src", 1000.0, 1e9, compute_bps=1e12),
+             Site("dst", 1e9, 1e9, compute_bps=1e12)]
+        )
+        engine = MapReduceEngine(topology)
+        dataset = logs_dataset([f"k{i}" for i in range(20)], site="src")
+        spec = MapReduceSpec.of([0], 1.0)
+        fractions = {"dst": 1.0}
+        alone = engine.run(dataset, spec, reduce_fractions=fractions)
+        together = engine.run_many(
+            [(dataset, spec), (dataset, spec)], reduce_fractions=fractions
+        )
+        for result in together:
+            assert result.qct > alone.qct * 1.5
+
+    def test_share_task_map_requires_equal_tasks(self):
+        engine = MapReduceEngine(uniform_sites(2))
+        dataset = logs_dataset(["a"])
+        with pytest.raises(EngineError):
+            engine.run_many(
+                [
+                    (dataset, MapReduceSpec.of([0], 1.0, num_reduce_tasks=10)),
+                    (dataset, MapReduceSpec.of([0], 1.0, num_reduce_tasks=20)),
+                ],
+                share_task_map=True,
+            )
+
+    def test_collect_keys(self):
+        engine = MapReduceEngine(uniform_sites(2, uplink=1000.0))
+        dataset = logs_dataset(["a", "a", "b"])
+        [result] = engine.run_many(
+            [(dataset, MapReduceSpec.of([0], 1.0))], collect_keys=True
+        )
+        assert result.key_counts == {("a",): 2, ("b",): 1}
+
+    def test_keys_not_collected_by_default(self):
+        engine = MapReduceEngine(uniform_sites(2, uplink=1000.0))
+        [result] = engine.run_many([(logs_dataset(["a"]), MapReduceSpec.of([0], 1.0))])
+        assert result.key_counts == {}
+
+
+class TestJoinSpec:
+    def test_arity_mismatch(self):
+        with pytest.raises(EngineError):
+            JoinSpec(left_key_indices=(0, 1), right_key_indices=(0,))
+
+    def test_bad_output_bytes(self):
+        with pytest.raises(EngineError):
+            JoinSpec((0,), (0,), output_record_bytes=0)
+
+    def test_specs_share_tasks(self):
+        spec = JoinSpec((0,), (0,), num_reduce_tasks=42)
+        assert spec.left_spec().num_reduce_tasks == 42
+        assert spec.right_spec().num_reduce_tasks == 42
+
+
+class TestRunJoin:
+    def test_join_cardinality(self):
+        engine = MapReduceEngine(uniform_sites(2, uplink=1000.0))
+        left = logs_dataset(["a", "a", "b", "c"])
+        right = pages_dataset(["a", "b", "b", "z"])
+        result = run_join(engine, left, right, JoinSpec((0,), (0,)))
+        # a: 2x1, b: 1x2, c/z unmatched -> 4 joined rows, 2 matched keys.
+        assert result.joined_records == 4
+        assert result.matched_keys == 2
+        assert result.output_bytes == 4 * 200
+        assert result.qct > 0.0
+
+    def test_join_is_empty_on_disjoint_keys(self):
+        engine = MapReduceEngine(uniform_sites(2, uplink=1000.0))
+        result = run_join(
+            engine,
+            logs_dataset(["a", "b"]),
+            pages_dataset(["x", "y"]),
+            JoinSpec((0,), (0,)),
+        )
+        assert result.joined_records == 0
+        assert result.matched_keys == 0
+
+    def test_join_qct_covers_both_sides(self):
+        engine = MapReduceEngine(uniform_sites(3, uplink=1000.0))
+        left = logs_dataset([f"k{i}" for i in range(30)], site="site-0")
+        right = pages_dataset(["k1"], site="site-1")
+        result = run_join(engine, left, right, JoinSpec((0,), (0,)))
+        assert result.qct >= result.left.qct - 1e-12
+        assert result.qct >= result.right.qct - 1e-12
+
+    def test_star_schema_join(self):
+        """Fact x dimension: every fact row finds its dimension row."""
+        engine = MapReduceEngine(uniform_sites(2, uplink=1000.0))
+        facts = logs_dataset(["p1", "p2", "p1", "p3", "p1"])
+        dims = pages_dataset(["p1", "p2", "p3"])
+        result = run_join(engine, facts, dims, JoinSpec((0,), (0,)))
+        assert result.joined_records == 5  # one match per fact row
+        assert result.matched_keys == 3
+
+    def test_wan_accounting(self):
+        engine = MapReduceEngine(uniform_sites(2, uplink=1000.0))
+        result = run_join(
+            engine,
+            logs_dataset(["a"], site="site-0"),
+            pages_dataset(["a"], site="site-1"),
+            JoinSpec((0,), (0,)),
+        )
+        assert isinstance(result, JoinResult)
+        # Both sides' keys route to the same site: exactly one crosses WAN.
+        assert result.total_wan_bytes == pytest.approx(100.0)

@@ -1,0 +1,131 @@
+"""Shuffle routing and executor assignment tests."""
+
+import pytest
+
+from repro.engine.assignment import assign_partitions
+from repro.engine.rdd import make_partitions
+from repro.engine.shuffle import ReduceTaskMap, key_to_task
+from repro.errors import EngineError
+from repro.similarity.dimsum import DimsumConfig
+from repro.types import Record
+
+
+class TestKeyToTask:
+    def test_stable(self):
+        assert key_to_task(("url-a",), 50) == key_to_task(("url-a",), 50)
+
+    def test_in_range(self):
+        for key in (("a",), ("b", 2), (3.5,)):
+            assert 0 <= key_to_task(key, 7) < 7
+
+    def test_spreads_keys(self):
+        tasks = {key_to_task((f"key-{i}",), 100) for i in range(200)}
+        assert len(tasks) > 50
+
+    def test_bad_num_tasks(self):
+        with pytest.raises(EngineError):
+            key_to_task(("a",), 0)
+
+
+class TestReduceTaskMap:
+    def test_from_fractions_counts(self):
+        task_map = ReduceTaskMap.from_fractions({"a": 0.75, "b": 0.25}, 100)
+        counts = task_map.tasks_per_site()
+        assert counts == {"a": 75, "b": 25}
+        assert task_map.num_tasks == 100
+
+    def test_fraction_at(self):
+        task_map = ReduceTaskMap.from_fractions({"a": 0.5, "b": 0.5}, 10)
+        assert task_map.fraction_at("a") == 0.5
+        assert task_map.fraction_at("missing") == 0.0
+
+    def test_zero_fraction_site_gets_nothing(self):
+        task_map = ReduceTaskMap.from_fractions({"a": 1.0, "b": 0.0}, 10)
+        assert task_map.tasks_per_site() == {"a": 10}
+
+    def test_interleaving(self):
+        task_map = ReduceTaskMap.from_fractions({"a": 0.5, "b": 0.5}, 4)
+        assert task_map.task_sites == ["a", "b", "a", "b"]
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(EngineError):
+            ReduceTaskMap.from_fractions({"a": 0.0}, 10)
+
+    def test_negative_rejected(self):
+        with pytest.raises(EngineError):
+            ReduceTaskMap.from_fractions({"a": 1.5, "b": -0.5}, 10)
+
+    def test_site_of_key_routes_consistently(self):
+        task_map = ReduceTaskMap.from_fractions({"a": 0.5, "b": 0.5}, 20)
+        key = ("hello",)
+        assert task_map.site_of_key(key) == task_map.site_of_key(key)
+
+    def test_site_of_out_of_range(self):
+        task_map = ReduceTaskMap.from_fractions({"a": 1.0}, 5)
+        with pytest.raises(EngineError):
+            task_map.site_of(5)
+
+
+def partitions_with_key_groups():
+    # Partitions 0,1 share keys "a*"; 2,3 share "b*"; so clustering should
+    # pair them.
+    def mk(keys, pid):
+        return make_partitions(
+            [Record((key,)) for key in keys], "x", 100, start_id=pid
+        )[0]
+
+    return [
+        mk(["a1", "a2", "a3"], 0),
+        mk(["a1", "a2", "a4"], 1),
+        mk(["b1", "b2", "b3"], 2),
+        mk(["b1", "b2", "b4"], 3),
+    ]
+
+
+class TestAssignPartitions:
+    def test_round_robin_default(self):
+        parts = partitions_with_key_groups()
+        result = assign_partitions(parts, 2, [0], similarity_aware=False)
+        assert result.method == "round-robin"
+        assert result.num_partitions == 4
+        assert result.overhead_seconds == 0.0
+        assert [len(g) for g in result.executor_partitions] == [2, 2]
+
+    def test_similarity_groups_similar_partitions(self):
+        parts = partitions_with_key_groups()
+        result = assign_partitions(
+            parts,
+            2,
+            [0],
+            similarity_aware=True,
+            dimsum_config=DimsumConfig(gamma=1e9, exact_below=10**6),
+        )
+        assert result.method == "similarity"
+        assert result.overhead_seconds > 0.0
+        groups = [
+            {p.partition_id for p in group} for group in result.executor_partitions
+        ]
+        assert {0, 1} in groups
+        assert {2, 3} in groups
+
+    def test_no_idle_executor_when_enough_partitions(self):
+        parts = partitions_with_key_groups()
+        result = assign_partitions(
+            parts, 4, [0], similarity_aware=True,
+            dimsum_config=DimsumConfig(gamma=1e9),
+        )
+        assert all(group for group in result.executor_partitions)
+
+    def test_empty_partitions(self):
+        result = assign_partitions([], 3, [0])
+        assert result.method == "empty"
+        assert result.num_partitions == 0
+
+    def test_single_partition_skips_similarity(self):
+        parts = partitions_with_key_groups()[:1]
+        result = assign_partitions(parts, 2, [0], similarity_aware=True)
+        assert result.method == "round-robin"
+
+    def test_bad_executors(self):
+        with pytest.raises(EngineError):
+            assign_partitions(partitions_with_key_groups(), 0, [0])

@@ -1,0 +1,93 @@
+"""Timeline reconstruction tests."""
+
+import pytest
+
+from repro.engine.job import MapReduceEngine
+from repro.engine.spec import MapReduceSpec
+from repro.engine.timeline import Timeline, TimelineEvent
+from repro.errors import EngineError
+from repro.types import GeoDataset, Record, Schema
+from repro.wan.topology import Site, WanTopology
+
+SCHEMA = Schema.of("url", "score", kinds={"score": "numeric"})
+
+
+def run_job():
+    topology = WanTopology.from_sites(
+        [
+            Site("tokyo", 1000.0, 1000.0, compute_bps=1e9,
+                 machines=1, executors_per_machine=1),
+            Site("oregon", 5000.0, 5000.0, compute_bps=1e9,
+                 machines=1, executors_per_machine=1),
+        ]
+    )
+    dataset = GeoDataset("logs", SCHEMA)
+    dataset.add_records(
+        "tokyo", [Record((f"k{i}", 1), size_bytes=1000) for i in range(8)]
+    )
+    engine = MapReduceEngine(topology, partition_records=4)
+    result = engine.run(
+        dataset, MapReduceSpec.of([0], 1.0), reduce_fractions={"oregon": 1.0}
+    )
+    return result
+
+
+class TestTimelineEvent:
+    def test_duration(self):
+        event = TimelineEvent("x", "map", 1.0, 3.5)
+        assert event.duration == 2.5
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(EngineError):
+            TimelineEvent("x", "map", 2.0, 1.0)
+
+
+class TestTimeline:
+    def test_phases_reconstructed(self):
+        result = run_job()
+        timeline = Timeline.from_job(result)
+        phases = {event.phase for event in timeline.events}
+        assert phases == {"map", "shuffle-in", "reduce"}
+        assert timeline.qct == result.qct
+
+    def test_ordering_is_causal(self):
+        timeline = Timeline.from_job(run_job())
+        map_events = [e for e in timeline.events if e.phase == "map"]
+        shuffle_events = [e for e in timeline.events if e.phase == "shuffle-in"]
+        reduce_events = [e for e in timeline.events if e.phase == "reduce"]
+        # Shuffle starts when the source map finished; reduce after inbound.
+        for shuffle in shuffle_events:
+            assert shuffle.start >= min(e.end for e in map_events) - 1e-9
+        for reduce_event in reduce_events:
+            assert reduce_event.start >= max(e.end for e in shuffle_events) - 1e-9
+
+    def test_critical_site(self):
+        timeline = Timeline.from_job(run_job())
+        # All reduce tasks at oregon: it finishes last.
+        assert timeline.critical_site() == "oregon"
+
+    def test_events_at(self):
+        timeline = Timeline.from_job(run_job())
+        assert all(e.site == "tokyo" for e in timeline.events_at("tokyo"))
+        assert timeline.events_at("nowhere") == []
+
+    def test_render(self):
+        timeline = Timeline.from_job(run_job())
+        art = timeline.render(width=40)
+        assert "QCT" in art
+        assert "map" in art
+        assert "reduce" in art
+        # Bars fit the requested width.
+        for line in art.splitlines()[1:]:
+            assert len(line) < 40 + 45
+
+    def test_empty_timeline(self):
+        timeline = Timeline()
+        assert timeline.render() == "(empty timeline)"
+        with pytest.raises(EngineError):
+            timeline.critical_site()
+
+    def test_last_event_bounds_qct(self):
+        timeline = Timeline.from_job(run_job())
+        last_end = max(event.end for event in timeline.events)
+        assert last_end == pytest.approx(timeline.qct, rel=1e-6)

@@ -1,0 +1,116 @@
+"""DimensionCubeSet + CubeBuilder tests (per-query-type cubes, buffering)."""
+
+import pytest
+
+from repro.errors import CubeError
+from repro.olap.builder import CubeBuilder
+from repro.olap.dimension_cube import DimensionCubeSet, query_type_key
+from repro.types import Record, Schema
+
+SCHEMA = Schema.of("url", "date", "region")
+
+
+def records(n=6):
+    rows = [
+        ("u1", "2014-01-01", "asia"),
+        ("u1", "2014-01-02", "asia"),
+        ("u2", "2014-01-01", "eu"),
+        ("u2", "2014-01-01", "eu"),
+        ("u3", "2014-02-01", "us"),
+        ("u1", "2014-02-01", "us"),
+    ]
+    return [Record(row) for row in rows[:n]]
+
+
+class TestQueryTypeKey:
+    def test_order_insensitive(self):
+        assert query_type_key(["b", "a"]) == query_type_key(["a", "b"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(CubeError):
+            query_type_key([])
+
+
+class TestDimensionCubeSet:
+    def test_build_and_derive(self):
+        cube_set = DimensionCubeSet.build(records(), SCHEMA)
+        url_cube = cube_set.cube_for(["url"])
+        assert url_cube.dimensions == ("url",)
+        assert url_cube.cells[("u1",)].count == 3
+
+    def test_derivation_cached(self):
+        cube_set = DimensionCubeSet.build(records(), SCHEMA)
+        assert cube_set.cube_for(["url"]) is cube_set.cube_for(["url"])
+
+    def test_unknown_attribute_rejected(self):
+        cube_set = DimensionCubeSet.build(records(), SCHEMA)
+        with pytest.raises(CubeError):
+            cube_set.cube_for(["nonexistent"])
+
+    def test_eager_and_background_updates(self):
+        cube_set = DimensionCubeSet.build(records(), SCHEMA)
+        cube_set.register_query_type(["url"])
+        cube_set.register_query_type(["region"])
+        new_record = Record(("u9", "2014-03-01", "asia"))
+        cube_set.insert(new_record, eager_attributes=["url"])
+        # Eager cube sees it immediately; the other is stale.
+        assert cube_set.cube_for(["url"]).cells[("u9",)].count == 1
+        assert cube_set.pending_updates() == 1
+        assert not cube_set.is_consistent()
+        applied = cube_set.update_background()
+        assert applied == 1
+        assert cube_set.is_consistent()
+        assert cube_set.cube_for(["region"]).cells[("asia",)].count == 3
+
+    def test_insert_without_eager_updates_all(self):
+        cube_set = DimensionCubeSet.build(records(), SCHEMA)
+        cube_set.register_query_type(["url"])
+        cube_set.register_query_type(["region"])
+        cube_set.insert(Record(("u9", "2014-03-01", "asia")))
+        assert cube_set.pending_updates() == 0
+        assert cube_set.is_consistent()
+
+    def test_query_types_listing(self):
+        cube_set = DimensionCubeSet.build(records(), SCHEMA)
+        cube_set.register_query_type(["url", "date"])
+        assert query_type_key(["date", "url"]) in cube_set.query_types
+
+
+class TestCubeBuilder:
+    def test_ingest_outside_query_inserts(self):
+        builder = CubeBuilder.start(SCHEMA, records(3))
+        builder.ingest(records()[3:])
+        assert builder.inserted == 3
+        assert builder.buffered == 0
+        assert builder.cube_set.base.total_count == 6
+
+    def test_buffering_during_query(self):
+        builder = CubeBuilder.start(SCHEMA, records(3))
+        builder.begin_query()
+        builder.ingest(records()[3:5])
+        assert builder.buffered == 2
+        assert builder.cube_set.base.total_count == 3  # not yet visible
+        flushed = builder.end_query()
+        assert flushed == 2
+        assert builder.buffered == 0
+        assert builder.cube_set.base.total_count == 5
+        assert builder.buffered_total == 2
+
+    def test_nested_query_rejected(self):
+        builder = CubeBuilder.start(SCHEMA)
+        builder.begin_query()
+        with pytest.raises(CubeError):
+            builder.begin_query()
+
+    def test_end_without_begin_rejected(self):
+        with pytest.raises(CubeError):
+            CubeBuilder.start(SCHEMA).end_query()
+
+    def test_catch_up_flushes_stale_cubes(self):
+        builder = CubeBuilder.start(SCHEMA, records(3))
+        builder.cube_set.register_query_type(["url"])
+        builder.cube_set.register_query_type(["region"])
+        builder.ingest([Record(("u7", "2015-01-01", "eu"))], eager_attributes=["url"])
+        assert builder.cube_set.pending_updates() == 1
+        assert builder.catch_up() == 1
+        assert builder.cube_set.is_consistent()

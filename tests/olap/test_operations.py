@@ -1,0 +1,178 @@
+"""OLAP operation tests: slice, dice, roll-up, drill-down, pivot, project."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import CubeError
+from repro.olap.cube import OLAPCube
+from repro.olap.dimension import date_hierarchy, region_hierarchy
+from repro.olap.operations import dice, drill_down, pivot, project, roll_up, slice_cube
+from repro.types import Record, Schema
+
+SCHEMA = Schema.of("time", "region", "product")
+
+
+def cube():
+    rows = [
+        ("2014", "asia", "A"),
+        ("2014", "asia", "A"),
+        ("2014", "eu", "A"),
+        ("2013", "asia", "B"),
+        ("2013", "eu", "B"),
+        ("2012", "us", "C"),
+    ]
+    return OLAPCube.from_records(
+        [Record(row) for row in rows], SCHEMA, ["time", "region", "product"]
+    )
+
+
+class TestSlice:
+    def test_slice_removes_dimension(self):
+        sliced = slice_cube(cube(), "time", "2014")
+        assert sliced.dimensions == ("region", "product")
+        assert sliced.total_count == 3
+        assert sliced.cells[("asia", "A")].count == 2
+
+    def test_slice_missing_value_empty(self):
+        assert slice_cube(cube(), "time", "1999").num_cells == 0
+
+    def test_slice_last_dimension_rejected(self):
+        single = project(cube(), ["time"])
+        with pytest.raises(CubeError):
+            slice_cube(single, "time", "2014")
+
+    def test_input_not_mutated(self):
+        original = cube()
+        slice_cube(original, "time", "2014")
+        assert original.total_count == 6
+
+
+class TestDice:
+    def test_dice_keeps_dimensionality(self):
+        diced = dice(cube(), {"product": {"A"}, "time": {"2014"}})
+        assert diced.dimensions == ("time", "region", "product")
+        assert diced.total_count == 3
+
+    def test_dice_multiple_values(self):
+        diced = dice(cube(), {"time": {"2013", "2014"}})
+        assert diced.total_count == 5
+
+    def test_dice_unknown_dimension(self):
+        with pytest.raises(CubeError):
+            dice(cube(), {"flavor": {"sweet"}})
+
+
+class TestRollUp:
+    def test_roll_up_merges_cells(self):
+        rolled = roll_up(cube(), "region", lambda value: "world")
+        assert rolled.values_of("region") == ["world"]
+        assert rolled.total_count == 6
+        assert rolled.cells[("2014", "world", "A")].count == 3
+
+    def test_date_hierarchy_roll_up(self):
+        hierarchy = date_hierarchy()
+        schema = Schema.of("day", "k")
+        day_cube = OLAPCube.from_records(
+            [Record(("2014-03-05", "a")), Record(("2014-03-09", "a")), Record(("2013-01-01", "b"))],
+            schema,
+            ["day", "k"],
+        )
+        monthly = roll_up(
+            day_cube, "day", lambda v: hierarchy.map_to(v, "day", "month")
+        )
+        assert monthly.cells[("2014-03", "a")].count == 2
+        yearly = roll_up(
+            day_cube, "day", lambda v: hierarchy.map_to(v, "day", "year")
+        )
+        assert yearly.cells[("2014", "a")].count == 2
+
+    def test_hierarchy_downward_mapping_rejected(self):
+        hierarchy = date_hierarchy()
+        with pytest.raises(CubeError):
+            hierarchy.map_to("2014", "year", "day")
+
+    def test_region_hierarchy_missing_city(self):
+        hierarchy = region_hierarchy({"tokyo": "japan"})
+        with pytest.raises(CubeError):
+            hierarchy.map_to("osaka", "city", "country")
+        assert hierarchy.map_to("tokyo", "city", "country") == "japan"
+
+
+class TestProjectAndDrillDown:
+    def test_project_aggregates_away(self):
+        projected = project(cube(), ["product"])
+        assert projected.dimensions == ("product",)
+        assert projected.cells[("A",)].count == 3
+        assert projected.total_count == 6
+
+    def test_project_order_respected(self):
+        projected = project(cube(), ["product", "time"])
+        assert projected.dimensions == ("product", "time")
+        assert ("A", "2014") in projected.cells
+
+    def test_project_empty_rejected(self):
+        with pytest.raises(CubeError):
+            project(cube(), [])
+
+    def test_project_duplicates_rejected(self):
+        with pytest.raises(CubeError):
+            project(cube(), ["time", "time"])
+
+    def test_drill_down_from_base(self):
+        base = cube()
+        coarse = project(base, ["product"])
+        finer = drill_down(base, ["product", "region"])
+        assert finer.total_count == coarse.total_count
+        assert finer.num_cells >= coarse.num_cells
+
+
+class TestPivot:
+    def test_pivot_reorders(self):
+        rotated = pivot(cube(), ["product", "time", "region"])
+        assert rotated.dimensions == ("product", "time", "region")
+        assert rotated.cells[("A", "2014", "asia")].count == 2
+        assert rotated.total_count == 6
+
+    def test_pivot_must_be_permutation(self):
+        with pytest.raises(CubeError):
+            pivot(cube(), ["time", "region"])
+        with pytest.raises(CubeError):
+            pivot(cube(), ["time", "region", "flavor"])
+
+
+class TestAlgebraicProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["x", "y", "z"]),
+                st.sampled_from(["p", "q"]),
+                st.sampled_from(["1", "2", "3"]),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_projection_preserves_count(self, rows):
+        schema = Schema.of("a", "b", "c")
+        base = OLAPCube.from_records(
+            [Record(row) for row in rows], schema, ["a", "b", "c"]
+        )
+        for dims in (["a"], ["b"], ["a", "c"], ["c", "b", "a"]):
+            assert project(base, dims).total_count == len(rows)
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcd"), st.sampled_from("xy")),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_slice_partition(self, rows):
+        # Summing counts over all slices of a dimension returns the total.
+        schema = Schema.of("k", "v")
+        base = OLAPCube.from_records([Record(row) for row in rows], schema, ["k", "v"])
+        total = sum(
+            slice_cube(base, "k", value).total_count for value in base.values_of("k")
+        )
+        assert total == len(rows)

@@ -1,0 +1,166 @@
+"""Cube-served aggregation tests: cube answers == brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CubeError, QueryError
+from repro.olap.cube import OLAPCube
+from repro.olap.dimension_cube import DimensionCubeSet
+from repro.olap.query import (
+    answer_from_cube,
+    answer_query,
+    brute_force_answer,
+    parse_aggregate,
+)
+from repro.query.parser import parse_sql
+from repro.types import Record, Schema
+
+SCHEMA = Schema.of("url", "region", "revenue", kinds={"revenue": "numeric"})
+
+
+def records():
+    rows = [
+        ("u1", "asia", 10.0),
+        ("u1", "asia", 20.0),
+        ("u1", "eu", 5.0),
+        ("u2", "eu", 7.0),
+        ("u2", "eu", 3.0),
+    ]
+    return [Record(row) for row in rows]
+
+
+class TestParseAggregate:
+    def test_basic(self):
+        assert parse_aggregate("SUM(revenue)") == ("SUM", "revenue")
+        assert parse_aggregate("count( url )") == ("COUNT", "url")
+
+    def test_malformed(self):
+        with pytest.raises(QueryError):
+            parse_aggregate("SUM revenue")
+
+
+class TestAnswerFromCube:
+    def make_cube(self):
+        return OLAPCube.from_records(records(), SCHEMA, ["url"], measure="revenue")
+
+    def test_count(self):
+        answers = answer_from_cube(self.make_cube(), "COUNT")
+        assert answers == {("u1",): 3.0, ("u2",): 2.0}
+
+    def test_sum(self):
+        answers = answer_from_cube(self.make_cube(), "SUM")
+        assert answers == {("u1",): 35.0, ("u2",): 10.0}
+
+    def test_avg(self):
+        answers = answer_from_cube(self.make_cube(), "AVG")
+        assert answers[("u1",)] == pytest.approx(35.0 / 3)
+
+    def test_min_rejected(self):
+        with pytest.raises(QueryError):
+            answer_from_cube(self.make_cube(), "MIN")
+
+    def test_sum_needs_measure(self):
+        cube = OLAPCube.from_records(records(), SCHEMA, ["url"])
+        with pytest.raises(CubeError):
+            answer_from_cube(cube, "SUM")
+
+
+class TestAnswerQuery:
+    def cube_sets(self):
+        # Two "sites" splitting the records.
+        rows = records()
+        return [
+            DimensionCubeSet.build(rows[:3], SCHEMA, measure="revenue"),
+            DimensionCubeSet.build(rows[3:], SCHEMA, measure="revenue"),
+        ]
+
+    def test_matches_brute_force(self):
+        query = parse_sql("SELECT url, SUM(revenue) FROM d GROUP BY url")
+        answers = answer_query(query, self.cube_sets())
+        expected = brute_force_answer(records(), SCHEMA, ["url"], "SUM(revenue)")
+        assert answers["SUM(revenue)"] == expected
+
+    def test_count_across_sites(self):
+        query = parse_sql("SELECT region, COUNT(url) FROM d GROUP BY region")
+        answers = answer_query(query, self.cube_sets())
+        assert answers["COUNT(url)"] == {("asia",): 2.0, ("eu",): 3.0}
+
+    def test_scan_rejected(self):
+        query = parse_sql("SELECT url FROM d")
+        with pytest.raises(QueryError):
+            answer_query(query, self.cube_sets())
+
+    def test_filtered_query_rejected(self):
+        query = parse_sql(
+            "SELECT url, SUM(revenue) FROM d WHERE region = 'eu' GROUP BY url"
+        )
+        with pytest.raises(QueryError):
+            answer_query(query, self.cube_sets())
+
+    def test_empty_cube_sets_rejected(self):
+        query = parse_sql("SELECT url, SUM(revenue) FROM d GROUP BY url")
+        with pytest.raises(QueryError):
+            answer_query(query, [])
+
+    def test_wrong_measure_rejected(self):
+        cube_sets = [DimensionCubeSet.build(records(), SCHEMA)]  # no measure
+        query = parse_sql("SELECT url, SUM(revenue) FROM d GROUP BY url")
+        with pytest.raises(CubeError):
+            answer_query(query, cube_sets)
+
+
+class TestPropertyEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.sampled_from(["a", "b", "c"]),
+                st.sampled_from(["x", "y"]),
+                st.floats(min_value=0, max_value=100, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        split=st.integers(min_value=0, max_value=40),
+    )
+    def test_cube_answers_equal_brute_force(self, rows, split):
+        rs = [Record(row) for row in rows]
+        split = min(split, len(rs))
+        cube_sets = [
+            DimensionCubeSet.build(part, SCHEMA, measure="revenue")
+            for part in (rs[:split], rs[split:])
+            if part
+        ]
+        query = parse_sql("SELECT url, SUM(revenue) FROM d GROUP BY url")
+        answers = answer_query(query, cube_sets)["SUM(revenue)"]
+        expected = brute_force_answer(rs, SCHEMA, ["url"], "SUM(revenue)")
+        assert set(answers) == set(expected)
+        for key, value in expected.items():
+            assert answers[key] == pytest.approx(value)
+
+
+class TestRollUpServing:
+    def test_monthly_rollup_matches_brute_force(self):
+        """Hierarchical roll-up + cube answering: monthly revenue from a
+        daily cube equals recomputing over raw records."""
+        from repro.olap.dimension import date_hierarchy
+        from repro.olap.operations import roll_up
+
+        schema = Schema.of("day", "revenue", kinds={"revenue": "numeric"})
+        rows = [
+            ("2018-01-03", 10.0),
+            ("2018-01-28", 5.0),
+            ("2018-02-01", 7.0),
+            ("2018-02-14", 3.0),
+        ]
+        rs = [Record(row) for row in rows]
+        daily = OLAPCube.from_records(rs, schema, ["day"], measure="revenue")
+        hierarchy = date_hierarchy()
+        monthly = roll_up(
+            daily, "day", lambda v: hierarchy.map_to(v, "day", "month")
+        )
+        sums = answer_from_cube(monthly, "SUM")
+        assert sums == {("2018-01",): 15.0, ("2018-02",): 10.0}
+        counts = answer_from_cube(monthly, "COUNT")
+        assert counts == {("2018-01",): 2.0, ("2018-02",): 2.0}

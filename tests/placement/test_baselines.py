@@ -1,0 +1,126 @@
+"""Baseline planner tests: centralized aggregation and in-place."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.baselines import (
+    CentralizedPlanner,
+    InPlacePlanner,
+    evaluate_shuffle_time,
+)
+from repro.placement.joint import JointPlanner
+from repro.placement.lp import solve_task_lp
+from repro.placement.model import PlacementProblem
+from repro.wan.topology import Site, WanTopology
+
+
+def make_problem():
+    topology = WanTopology.from_sites(
+        [
+            Site("slow", uplink_bps=10.0, downlink_bps=10.0),
+            Site("mid", uplink_bps=50.0, downlink_bps=50.0),
+            Site("hub", uplink_bps=100.0, downlink_bps=200.0),
+        ]
+    )
+    return PlacementProblem(
+        topology=topology,
+        input_bytes={"d": {"slow": 500.0, "mid": 300.0, "hub": 100.0}},
+        reduction_ratio={"d": 1.0},
+        similarity={},
+        lag_seconds=100.0,
+    )
+
+
+class TestEvaluateShuffleTime:
+    def test_matches_task_lp_at_optimum(self):
+        problem = make_problem()
+        volumes = {"slow": 500.0, "mid": 300.0, "hub": 100.0}
+        fractions, t_lp, _ = solve_task_lp(volumes, problem)
+        t_eval = evaluate_shuffle_time(problem, {}, fractions)
+        assert t_eval == pytest.approx(t_lp, rel=1e-6)
+
+    def test_suboptimal_point_not_better(self):
+        problem = make_problem()
+        volumes = {"slow": 500.0, "mid": 300.0, "hub": 100.0}
+        _, t_lp, _ = solve_task_lp(volumes, problem)
+        uniform = {site: 1.0 / 3 for site in problem.site_names}
+        assert evaluate_shuffle_time(problem, {}, uniform) >= t_lp - 1e-9
+
+
+class TestCentralizedPlanner:
+    def test_moves_everything_to_hub(self):
+        problem = make_problem()
+        decision = CentralizedPlanner().plan(problem)
+        assert decision.planner == "centralized"
+        # hub has the largest downlink -> chosen automatically.
+        assert decision.reduce_fractions["hub"] == 1.0
+        assert decision.total_moved_bytes == 800.0
+        for (dataset, src, dst), volume in decision.moves.items():
+            assert dst == "hub"
+            assert volume == problem.I(dataset, src)
+
+    def test_shuffle_time_zero_after_full_centralization(self):
+        # Everything at the hub with all tasks there: no WAN shuffle.
+        decision = CentralizedPlanner().plan(make_problem())
+        assert decision.estimated_shuffle_seconds == pytest.approx(0.0)
+
+    def test_explicit_hub(self):
+        decision = CentralizedPlanner(hub="mid").plan(make_problem())
+        assert decision.reduce_fractions["mid"] == 1.0
+
+    def test_unknown_hub_rejected(self):
+        with pytest.raises(PlacementError):
+            CentralizedPlanner(hub="mars").plan(make_problem())
+
+
+class TestInPlacePlanner:
+    def test_no_moves_uniform_fractions(self):
+        decision = InPlacePlanner().plan(make_problem())
+        assert decision.planner == "in-place"
+        assert decision.moves == {}
+        assert decision.reduce_fractions["slow"] == pytest.approx(1.0 / 3)
+
+    def test_joint_never_worse_than_in_place(self):
+        problem = make_problem()
+        in_place = InPlacePlanner().plan(problem)
+        joint = JointPlanner().plan(problem)
+        assert (
+            joint.estimated_shuffle_seconds
+            <= in_place.estimated_shuffle_seconds + 1e-9
+        )
+
+
+class TestBaselineSchemesEndToEnd:
+    def run_scheme(self, scheme):
+        from repro.systems.base import SystemConfig
+        from repro.systems.registry import make_system
+        from repro.wan.presets import uniform_sites
+        from repro.workloads.base import WorkloadSpec
+        from repro.workloads.bigdata import bigdata_workload
+
+        topology = uniform_sites(3, uplink="1MB/s", machines=1,
+                                 executors_per_machine=2)
+        workload = bigdata_workload(
+            topology, seed=8,
+            spec=WorkloadSpec(records_per_site=20, record_bytes=50_000,
+                              num_datasets=1),
+            flavour="aggregation",
+        )
+        from repro.systems.base import SystemConfig as Config
+
+        controller = make_system(scheme, topology,
+                                 Config(lag_seconds=1000.0, partition_records=8))
+        report = controller.prepare(workload)
+        jobs = controller.run_all_queries(workload, limit=3)
+        return report, jobs
+
+    def test_spark_scheme_moves_nothing(self):
+        report, jobs = self.run_scheme("spark")
+        assert report.movement.total_moved_bytes == 0.0
+        assert all(job.qct > 0 for job in jobs)
+
+    def test_centralized_scheme_drains_other_sites(self):
+        report, jobs = self.run_scheme("centralized")
+        assert report.movement.total_moved_bytes > 0.0
+        # All shuffle is local at the hub: no WAN bytes during queries.
+        assert all(job.total_wan_bytes == 0.0 for job in jobs)

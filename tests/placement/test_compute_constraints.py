@@ -1,0 +1,86 @@
+"""Compute-constraint LP extension tests (§5 future work)."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.placement.lp import solve_task_lp
+from repro.placement.model import PlacementProblem
+from repro.wan.topology import Site, WanTopology
+
+
+def problem_with_compute(compute=None):
+    topology = WanTopology.from_sites(
+        [
+            Site("a", uplink_bps=100.0, downlink_bps=100.0),
+            Site("b", uplink_bps=100.0, downlink_bps=100.0),
+        ]
+    )
+    return PlacementProblem(
+        topology=topology,
+        input_bytes={"d": {"a": 1000.0, "b": 1000.0}},
+        reduction_ratio={"d": 1.0},
+        similarity={},
+        lag_seconds=100.0,
+        compute_bps=compute or {},
+    )
+
+
+class TestComputeConstraints:
+    def test_unconstrained_is_symmetric(self):
+        fractions, _, _ = solve_task_lp(
+            {"a": 1000.0, "b": 1000.0}, problem_with_compute()
+        )
+        assert fractions["a"] == pytest.approx(0.5, abs=0.01)
+
+    def test_slow_compute_site_gets_fewer_tasks(self):
+        problem = problem_with_compute({"a": 10.0, "b": 10_000.0})
+        fractions, _, _ = solve_task_lp({"a": 1000.0, "b": 1000.0}, problem)
+        assert fractions["a"] < fractions["b"]
+
+    def test_compute_constraint_raises_t(self):
+        volumes = {"a": 1000.0, "b": 1000.0}
+        _, t_free, _ = solve_task_lp(volumes, problem_with_compute())
+        _, t_capped, _ = solve_task_lp(
+            volumes, problem_with_compute({"a": 10.0, "b": 10.0})
+        )
+        assert t_capped >= t_free
+
+    def test_abundant_compute_changes_nothing(self):
+        volumes = {"a": 1000.0, "b": 500.0}
+        fractions_free, t_free, _ = solve_task_lp(volumes, problem_with_compute())
+        fractions_big, t_big, _ = solve_task_lp(
+            volumes, problem_with_compute({"a": 1e12, "b": 1e12})
+        )
+        assert t_big == pytest.approx(t_free, rel=1e-6)
+        assert fractions_big["a"] == pytest.approx(fractions_free["a"], abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            problem_with_compute({"mars": 1.0})
+        with pytest.raises(PlacementError):
+            problem_with_compute({"a": 0.0})
+
+    def test_controller_flag_feeds_compute(self):
+        from repro.systems.base import SystemConfig
+        from repro.systems.registry import make_system
+        from repro.wan.presets import uniform_sites
+        from repro.workloads.base import WorkloadSpec
+        from repro.workloads.bigdata import bigdata_workload
+
+        topology = uniform_sites(3, uplink="1MB/s")
+        workload = bigdata_workload(
+            topology, seed=3,
+            spec=WorkloadSpec(records_per_site=10, record_bytes=10_000,
+                              num_datasets=1),
+            flavour="aggregation",
+        )
+        controller = make_system(
+            "bohr-joint", topology,
+            SystemConfig(lag_seconds=60.0, consider_compute=True),
+        )
+        problem = controller._placement_problem(
+            workload, __import__("repro.core.controller",
+                                 fromlist=["PreparationReport"]).PreparationReport("x")
+        )
+        assert set(problem.compute_bps) == set(topology.site_names)
+        assert all(rate > 0 for rate in problem.compute_bps.values())

@@ -1,0 +1,170 @@
+"""Simplex and solver front-end tests, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SolverError
+from repro.placement.simplex import simplex_solve
+from repro.placement.solver import LinearProgram, solve_lp
+
+
+class TestSimplexBasics:
+    def test_simple_max_flow_style(self):
+        # min -x - y s.t. x + y <= 4, x <= 3, y <= 2  -> optimum -4.
+        result = simplex_solve(
+            c=np.array([-1.0, -1.0]),
+            a_ub=np.array([[1.0, 1.0], [1.0, 0.0], [0.0, 1.0]]),
+            b_ub=np.array([4.0, 3.0, 2.0]),
+        )
+        assert result.ok
+        assert result.objective == pytest.approx(-4.0)
+
+    def test_equality_constraint(self):
+        # min x + 2y s.t. x + y = 1 -> x=1, y=0.
+        result = simplex_solve(
+            c=np.array([1.0, 2.0]),
+            a_eq=np.array([[1.0, 1.0]]),
+            b_eq=np.array([1.0]),
+        )
+        assert result.ok
+        assert result.objective == pytest.approx(1.0)
+        assert result.x[0] == pytest.approx(1.0)
+
+    def test_infeasible(self):
+        # x <= -1 with x >= 0 is infeasible.
+        result = simplex_solve(
+            c=np.array([1.0]),
+            a_ub=np.array([[1.0]]),
+            b_ub=np.array([-1.0]),
+        )
+        assert result.status == "infeasible"
+
+    def test_unbounded(self):
+        # min -x with no upper bound.
+        result = simplex_solve(
+            c=np.array([-1.0]),
+            a_ub=np.array([[-1.0]]),
+            b_ub=np.array([0.0]),
+        )
+        assert result.status == "unbounded"
+
+    def test_no_constraints_nonneg_objective(self):
+        result = simplex_solve(c=np.array([1.0, 0.0]))
+        assert result.ok
+        assert result.objective == 0.0
+
+    def test_no_constraints_unbounded(self):
+        result = simplex_solve(c=np.array([-1.0]))
+        assert result.status == "unbounded"
+
+    def test_degenerate_redundant_rows(self):
+        # Same constraint twice.
+        result = simplex_solve(
+            c=np.array([1.0, 1.0]),
+            a_eq=np.array([[1.0, 1.0], [1.0, 1.0]]),
+            b_eq=np.array([1.0, 1.0]),
+        )
+        assert result.ok
+        assert result.objective == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SolverError):
+            simplex_solve(
+                c=np.array([1.0]),
+                a_ub=np.array([[1.0, 2.0]]),
+                b_ub=np.array([1.0]),
+            )
+
+
+class TestSimplexAgainstScipy:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_random_feasible_lps_match(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        n, m = int(rng.integers(2, 6)), int(rng.integers(2, 6))
+        c = rng.uniform(-1, 1, size=n)
+        a_ub = rng.uniform(0, 1, size=(m, n))  # nonneg rows + positive b
+        b_ub = rng.uniform(1, 5, size=m)  # -> x=0 always feasible, bounded
+        ours = simplex_solve(c, a_ub=a_ub, b_ub=b_ub)
+        theirs = linprog(c, A_ub=a_ub, b_ub=b_ub, bounds=(0, None), method="highs")
+        if theirs.status == 3:  # unbounded
+            assert ours.status == "unbounded"
+        else:
+            assert theirs.success
+            assert ours.ok
+            assert ours.objective == pytest.approx(theirs.fun, rel=1e-6, abs=1e-8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_with_equalities_match(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 6))
+        c = rng.uniform(0, 1, size=n)  # nonneg cost -> bounded below
+        a_eq = np.ones((1, n))
+        b_eq = np.array([1.0])
+        a_ub = rng.uniform(0, 1, size=(2, n))
+        b_ub = rng.uniform(1, 3, size=2)
+        ours = simplex_solve(c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq)
+        theirs = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=(0, None),
+            method="highs",
+        )
+        if theirs.success:
+            assert ours.ok
+            assert ours.objective == pytest.approx(theirs.fun, rel=1e-6, abs=1e-8)
+        else:
+            assert not ours.ok
+
+
+class TestSolverFrontend:
+    def make_program(self):
+        return LinearProgram(
+            c=np.array([1.0, 0.0]),
+            a_ub=np.array([[-1.0, 0.0]]),
+            b_ub=np.array([-2.0]),
+            variable_names=["t", "x"],
+        )
+
+    def test_scipy_backend(self):
+        solution = solve_lp(self.make_program(), backend="scipy")
+        assert solution.backend == "scipy"
+        assert solution.objective == pytest.approx(2.0)
+        assert solution.solve_seconds >= 0.0
+
+    def test_simplex_backend(self):
+        solution = solve_lp(self.make_program(), backend="simplex")
+        assert solution.backend == "simplex"
+        assert solution.objective == pytest.approx(2.0)
+
+    def test_auto_backend(self):
+        assert solve_lp(self.make_program()).backend == "scipy"
+
+    def test_value_of(self):
+        program = self.make_program()
+        solution = solve_lp(program)
+        assert solution.value_of(program, "t") == pytest.approx(2.0)
+        with pytest.raises(SolverError):
+            solution.value_of(program, "nope")
+
+    def test_unknown_backend(self):
+        with pytest.raises(SolverError):
+            solve_lp(self.make_program(), backend="quantum")
+
+    def test_infeasible_raises(self):
+        program = LinearProgram(
+            c=np.array([1.0]), a_ub=np.array([[1.0]]), b_ub=np.array([-5.0])
+        )
+        with pytest.raises(SolverError):
+            solve_lp(program, backend="scipy")
+        with pytest.raises(SolverError):
+            solve_lp(program, backend="simplex")
+
+    def test_names_length_mismatch(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.array([1.0]), variable_names=["a", "b"])

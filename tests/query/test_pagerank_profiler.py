@@ -1,0 +1,133 @@
+"""PageRank, profiler and compiler tests."""
+
+import math
+
+import pytest
+
+from repro.engine.job import MapReduceEngine
+from repro.errors import QueryError
+from repro.query.compiler import compile_query
+from repro.query.pagerank import pagerank, pagerank_scores_from_records
+from repro.query.profiler import ReductionProfiler
+from repro.query.spec import QueryClass, QuerySpec
+from repro.types import GeoDataset, Record, Schema
+from repro.wan.presets import uniform_sites
+
+SCHEMA = Schema.of("url", "score", "region", kinds={"score": "numeric"})
+
+
+class TestPagerank:
+    def test_ranks_sum_to_one(self):
+        ranks = pagerank([("a", "b"), ("b", "c"), ("c", "a")])
+        assert math.isclose(sum(ranks.values()), 1.0, rel_tol=1e-6)
+
+    def test_symmetric_cycle_uniform(self):
+        ranks = pagerank([("a", "b"), ("b", "c"), ("c", "a")])
+        assert ranks["a"] == pytest.approx(ranks["b"])
+        assert ranks["b"] == pytest.approx(ranks["c"])
+
+    def test_popular_node_ranks_higher(self):
+        ranks = pagerank([("a", "hub"), ("b", "hub"), ("c", "hub"), ("hub", "a")])
+        assert ranks["hub"] > ranks["b"]
+
+    def test_dangling_nodes(self):
+        ranks = pagerank([("a", "b")])  # b dangles
+        assert math.isclose(sum(ranks.values()), 1.0, rel_tol=1e-6)
+        assert ranks["b"] > ranks["a"]
+
+    def test_empty(self):
+        assert pagerank([]) == {}
+
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            pagerank([("a", "b")], damping=1.0)
+        with pytest.raises(QueryError):
+            pagerank([("a", "b")], iterations=0)
+
+
+class TestPagerankScores:
+    def test_sums_scores_per_url(self):
+        records = [
+            Record(("u1", 1.0, "asia")),
+            Record(("u1", 2.0, "eu")),
+            Record(("u2", 5.0, "us")),
+        ]
+        scores = pagerank_scores_from_records(records, SCHEMA)
+        assert scores == {"u1": 3.0, "u2": 5.0}
+
+    def test_non_numeric_score_rejected(self):
+        records = [Record(("u1", "high", "asia"))]
+        with pytest.raises(QueryError):
+            pagerank_scores_from_records(records, SCHEMA)
+
+
+class TestProfiler:
+    def run_job(self, ratio):
+        topology = uniform_sites(2)
+        dataset = GeoDataset("logs", SCHEMA)
+        dataset.add_records(
+            "site-0", [Record((f"u{i}", 1, "asia"), size_bytes=100) for i in range(10)]
+        )
+        spec = QuerySpec("logs", ("url",), reduction_ratio=ratio)
+        engine = MapReduceEngine(topology)
+        job_spec = compile_query(spec, SCHEMA)
+        return spec, engine.run(dataset, job_spec)
+
+    def test_learns_true_ratio(self):
+        profiler = ReductionProfiler()
+        spec, result = self.run_job(0.4)
+        profiler.observe(spec, result)
+        assert profiler.is_profiled(spec)
+        assert profiler.ratio_for(spec) == pytest.approx(0.4, rel=1e-6)
+        assert profiler.samples_for(spec) == 1
+
+    def test_falls_back_to_class_default(self):
+        profiler = ReductionProfiler()
+        spec = QuerySpec("never-run", ("url",), QueryClass.SCAN)
+        assert profiler.ratio_for(spec) == spec.default_reduction_ratio()
+
+    def test_ewma_blending(self):
+        profiler = ReductionProfiler(alpha=0.5)
+        spec_a, result_a = self.run_job(0.2)
+        profiler.observe(spec_a, result_a)
+        _, result_b = self.run_job(0.8)
+        profiler.observe(spec_a, result_b)
+        assert profiler.ratio_for(spec_a) == pytest.approx(0.5, rel=1e-6)
+
+    def test_empty_job_ignored(self):
+        from repro.engine.job import JobResult
+
+        profiler = ReductionProfiler()
+        spec = QuerySpec("d", ("url",))
+        profiler.observe(spec, JobResult(qct=0.0, per_site={}))
+        assert not profiler.is_profiled(spec)
+
+    def test_bad_alpha(self):
+        with pytest.raises(QueryError):
+            ReductionProfiler(alpha=0.0)
+
+
+class TestCompiler:
+    def test_resolves_indices(self):
+        spec = QuerySpec("logs", ("region", "url"))
+        job = compile_query(spec, SCHEMA)
+        assert job.key_indices == (2, 0)
+
+    def test_uses_profiler(self):
+        profiler = ReductionProfiler()
+        spec = QuerySpec("logs", ("url",), QueryClass.SCAN)
+        job = compile_query(spec, SCHEMA, profiler)
+        assert job.reduction_ratio == spec.default_reduction_ratio()
+
+    def test_unknown_attribute(self):
+        with pytest.raises(QueryError):
+            compile_query(QuerySpec("logs", ("flavor",)), SCHEMA)
+
+    def test_unknown_filter_column(self):
+        spec = QuerySpec("logs", ("url",), filters=(("flavor", "x"),))
+        with pytest.raises(QueryError):
+            compile_query(spec, SCHEMA)
+
+    def test_reduce_tasks_forwarded(self):
+        job = compile_query(QuerySpec("logs", ("url",)), SCHEMA, num_reduce_tasks=7)
+        assert job.num_reduce_tasks == 7

@@ -1,0 +1,144 @@
+"""DIMSUM and k-means tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimilarityError
+from repro.similarity.dimsum import (
+    DimsumConfig,
+    dimsum_similarity_matrix,
+    exact_similarity_matrix,
+    matrix_error,
+)
+from repro.similarity.kmeans import kmeans
+
+
+def partitioned_sets():
+    # Two similar pairs and one loner.
+    return [
+        set(range(0, 100)),
+        set(range(5, 105)),
+        set(range(1000, 1100)),
+        set(range(1010, 1110)),
+        set(range(9000, 9050)),
+    ]
+
+
+class TestDimsum:
+    def test_high_gamma_matches_exact(self):
+        sets = partitioned_sets()
+        config = DimsumConfig(gamma=1e9, num_hashes=256, exact_below=10**9)
+        approx, stats = dimsum_similarity_matrix(sets, config)
+        exact = exact_similarity_matrix(sets)
+        assert matrix_error(approx, exact) == 0.0
+        assert stats.pairs_skipped == 0
+        assert stats.pairs_examined == stats.pairs_total
+
+    def test_small_gamma_skips_pairs(self):
+        sets = partitioned_sets()
+        config = DimsumConfig(gamma=0.5, seed=3)
+        _, stats = dimsum_similarity_matrix(sets, config)
+        assert stats.pairs_skipped > 0
+        assert stats.skip_fraction > 0.0
+
+    def test_gamma_tradeoff_monotone_in_expectation(self):
+        sets = [set(range(i * 50, i * 50 + 60)) for i in range(10)]
+        skipped = []
+        for gamma in (0.2, 2.0, 200.0):
+            _, stats = dimsum_similarity_matrix(sets, DimsumConfig(gamma=gamma, seed=1))
+            skipped.append(stats.pairs_skipped)
+        assert skipped[0] >= skipped[1] >= skipped[2]
+
+    def test_accuracy_improves_with_gamma(self):
+        sets = partitioned_sets()
+        exact = exact_similarity_matrix(sets)
+        low, _ = dimsum_similarity_matrix(sets, DimsumConfig(gamma=0.2, seed=2))
+        high, _ = dimsum_similarity_matrix(sets, DimsumConfig(gamma=1e9, seed=2))
+        assert matrix_error(high, exact) <= matrix_error(low, exact) + 1e-9
+
+    def test_matrix_symmetric_unit_diagonal(self):
+        matrix, _ = dimsum_similarity_matrix(partitioned_sets())
+        assert np.allclose(matrix, matrix.T)
+        assert np.allclose(np.diag(matrix), 1.0)
+
+    def test_single_partition(self):
+        matrix, stats = dimsum_similarity_matrix([set(range(5))])
+        assert matrix.shape == (1, 1)
+        assert stats.pairs_total == 0
+
+    def test_empty_input(self):
+        matrix, _ = dimsum_similarity_matrix([])
+        assert matrix.shape == (0, 0)
+
+    def test_minhash_estimate_used_for_large_sets(self):
+        sets = [set(range(0, 500)), set(range(250, 750))]
+        config = DimsumConfig(gamma=1e9, num_hashes=512, exact_below=4)
+        approx, _ = dimsum_similarity_matrix(sets, config)
+        exact = exact_similarity_matrix(sets)
+        assert abs(approx[0, 1] - exact[0, 1]) < 0.1
+
+    def test_bad_config(self):
+        with pytest.raises(SimilarityError):
+            DimsumConfig(gamma=0)
+        with pytest.raises(SimilarityError):
+            DimsumConfig(num_hashes=0)
+
+    def test_matrix_error_shape_mismatch(self):
+        with pytest.raises(SimilarityError):
+            matrix_error(np.eye(2), np.eye(3))
+
+
+class TestKMeans:
+    def test_separable_clusters_found(self):
+        rng = np.random.default_rng(0)
+        cluster_a = rng.normal(0.0, 0.05, size=(20, 2))
+        cluster_b = rng.normal(5.0, 0.05, size=(20, 2))
+        data = np.vstack([cluster_a, cluster_b])
+        result = kmeans(data, 2, seed=1)
+        labels_a = set(result.labels[:20])
+        labels_b = set(result.labels[20:])
+        assert len(labels_a) == 1
+        assert len(labels_b) == 1
+        assert labels_a != labels_b
+
+    def test_k_greater_than_n(self):
+        data = np.array([[0.0], [1.0]])
+        result = kmeans(data, 5)
+        assert result.labels == [0, 1]
+        assert result.inertia == 0.0
+
+    def test_deterministic(self):
+        data = np.random.default_rng(3).standard_normal((30, 4))
+        first = kmeans(data, 3, seed=9)
+        second = kmeans(data, 3, seed=9)
+        assert first.labels == second.labels
+
+    def test_members(self):
+        data = np.array([[0.0], [0.1], [10.0]])
+        result = kmeans(data, 2, seed=1)
+        clusters = {tuple(sorted(result.members(c))) for c in range(2)}
+        assert (0, 1) in clusters
+        assert (2,) in clusters
+
+    def test_identical_points(self):
+        data = np.ones((10, 3))
+        result = kmeans(data, 2, seed=1)
+        assert len(result.labels) == 10
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_empty_data(self):
+        result = kmeans(np.zeros((0, 2)), 3)
+        assert result.labels == []
+
+    def test_invalid_k(self):
+        with pytest.raises(SimilarityError):
+            kmeans(np.ones((3, 2)), 0)
+
+    def test_one_dimensional_rejected(self):
+        with pytest.raises(SimilarityError):
+            kmeans(np.ones(5), 2)
+
+    def test_inertia_decreases_with_k(self):
+        data = np.random.default_rng(4).standard_normal((50, 3))
+        inertias = [kmeans(data, k, seed=2).inertia for k in (1, 2, 5, 10)]
+        assert all(a >= b - 1e-9 for a, b in zip(inertias, inertias[1:]))

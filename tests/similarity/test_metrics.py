@@ -1,0 +1,131 @@
+"""Similarity metric tests."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimilarityError
+from repro.similarity.metrics import (
+    cosine_similarity,
+    intra_similarity,
+    jaccard,
+    key_histogram,
+    merge_ratio,
+    overlap_coefficient,
+    weighted_jaccard,
+)
+
+
+class TestJaccard:
+    def test_disjoint(self):
+        assert jaccard({1, 2}, {3, 4}) == 0.0
+
+    def test_identical(self):
+        assert jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_partial(self):
+        assert jaccard({1, 2, 3}, {2, 3, 4}) == 0.5
+
+    def test_both_empty(self):
+        assert jaccard(set(), set()) == 1.0
+
+    def test_one_empty(self):
+        assert jaccard({1}, set()) == 0.0
+
+    @given(st.sets(st.integers()), st.sets(st.integers()))
+    def test_symmetric_and_bounded(self, left, right):
+        value = jaccard(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == jaccard(right, left)
+
+
+class TestWeightedJaccard:
+    def test_equal_weights_match_plain(self):
+        left = {("a",): 1.0, ("b",): 1.0}
+        right = {("b",): 1.0, ("c",): 1.0}
+        assert weighted_jaccard(left, right) == jaccard(set(left), set(right))
+
+    def test_weights_matter(self):
+        left = {("a",): 10.0, ("b",): 1.0}
+        right = {("a",): 10.0}
+        assert weighted_jaccard(left, right) == pytest.approx(10.0 / 11.0)
+
+    def test_empty(self):
+        assert weighted_jaccard({}, {}) == 1.0
+
+
+class TestOverlap:
+    def test_subset_gives_one(self):
+        assert overlap_coefficient({1, 2}, {1, 2, 3, 4}) == 1.0
+
+    def test_empty(self):
+        assert overlap_coefficient(set(), {1}) == 1.0
+
+
+class TestCosine:
+    def test_parallel(self):
+        assert cosine_similarity([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity([1, 0], [0, 1]) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        assert cosine_similarity([1, 0], [-1, 0]) == pytest.approx(-1.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity([0, 0], [1, 1]) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(SimilarityError):
+            cosine_similarity([1, 2], [1, 2, 3])
+
+
+class TestIntraSimilarity:
+    def test_all_identical(self):
+        keys = [("a",)] * 10
+        assert intra_similarity(keys) == 0.9
+
+    def test_all_distinct(self):
+        keys = [(i,) for i in range(10)]
+        assert intra_similarity(keys) == 0.0
+
+    def test_empty(self):
+        assert intra_similarity([]) == 0.0
+
+    def test_figure1_example(self):
+        # Figure 1a, Tokyo mapper: 3x UrlA -> combiner emits 1 record.
+        tokyo = [("UrlA",)] * 3
+        assert intra_similarity(tokyo) == pytest.approx(2.0 / 3.0)
+        # Oregon: UrlA, UrlB, UrlB, UrlC -> 3 of 4 distinct.
+        oregon = [("UrlA",), ("UrlB",), ("UrlB",), ("UrlC",)]
+        assert intra_similarity(oregon) == pytest.approx(0.25)
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=100))
+    def test_bounded(self, raw_keys):
+        keys = [(value,) for value in raw_keys]
+        similarity = intra_similarity(keys)
+        assert 0.0 <= similarity < 1.0
+
+
+class TestMergeRatio:
+    def test_all_present(self):
+        assert merge_ratio([("a",), ("b",)], [("a",), ("a",)]) == 1.0
+
+    def test_none_present(self):
+        assert merge_ratio([("a",)], [("x",), ("y",)]) == 0.0
+
+    def test_empty_incoming(self):
+        assert merge_ratio([("a",)], []) == 1.0
+
+    def test_figure1_choice(self):
+        # Moving UrlA to Oregon (which has UrlA) combines; UrlB less so.
+        oregon = [("UrlA",), ("UrlB",), ("UrlB",), ("UrlC",)]
+        assert merge_ratio(oregon, [("UrlA",)]) == 1.0
+
+
+class TestKeyHistogram:
+    def test_counts(self):
+        histogram = key_histogram([("a",), ("a",), ("b",)])
+        assert histogram == {("a",): 2, ("b",): 1}

@@ -1,0 +1,112 @@
+"""Vector space model and synthetic image feature tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimilarityError
+from repro.similarity.metrics import cosine_similarity
+from repro.similarity.vsm import (
+    VectorSpaceModel,
+    feature_bucket,
+    synthetic_image_features,
+)
+
+
+class TestVectorSpaceModel:
+    def test_identical_texts_identical_vectors(self):
+        vsm = VectorSpaceModel(dim=64)
+        assert np.array_equal(vsm.transform("hello world"), vsm.transform("hello world"))
+
+    def test_similar_texts_high_cosine(self):
+        vsm = VectorSpaceModel(dim=256)
+        left = vsm.transform("the quick brown fox jumps over the lazy dog")
+        right = vsm.transform("the quick brown fox walks past the lazy dog")
+        unrelated = vsm.transform("completely different words entirely elsewhere")
+        assert cosine_similarity(left, right) > cosine_similarity(left, unrelated)
+
+    def test_normalization(self):
+        vsm = VectorSpaceModel(dim=64, normalize=True)
+        vector = vsm.transform("some words here")
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_unnormalized_counts(self):
+        vsm = VectorSpaceModel(dim=64, normalize=False)
+        vector = vsm.transform("word word word")
+        assert vector.sum() == 3.0
+
+    def test_empty_text(self):
+        vsm = VectorSpaceModel(dim=16)
+        assert np.all(vsm.transform("") == 0.0)
+
+    def test_case_insensitive(self):
+        vsm = VectorSpaceModel(dim=64)
+        assert np.array_equal(vsm.transform("Hello"), vsm.transform("hello"))
+
+    def test_transform_many(self):
+        vsm = VectorSpaceModel(dim=32)
+        matrix = vsm.transform_many(["a b", "c d", "e"])
+        assert matrix.shape == (3, 32)
+
+    def test_transform_many_empty(self):
+        assert VectorSpaceModel(dim=8).transform_many([]).shape == (0, 8)
+
+    def test_bad_dim(self):
+        with pytest.raises(SimilarityError):
+            VectorSpaceModel(dim=0)
+
+
+class TestSyntheticImageFeatures:
+    def test_shapes(self):
+        features, labels = synthetic_image_features(50, dim=32, num_classes=4)
+        assert features.shape == (50, 32)
+        assert len(labels) == 50
+        assert set(labels) <= set(range(4))
+
+    def test_same_class_more_similar(self):
+        features, labels = synthetic_image_features(
+            200, dim=32, num_classes=4, noise=0.05, seed=3
+        )
+        by_class = {}
+        for row, label in enumerate(labels):
+            by_class.setdefault(label, []).append(row)
+        classes = [members for members in by_class.values() if len(members) >= 2]
+        a, b = classes[0][:2]
+        other = classes[1][0]
+        same = cosine_similarity(features[a], features[b])
+        cross = cosine_similarity(features[a], features[other])
+        assert same > cross
+
+    def test_deterministic(self):
+        first, labels_first = synthetic_image_features(20, seed=9)
+        second, labels_second = synthetic_image_features(20, seed=9)
+        assert np.array_equal(first, second)
+        assert labels_first == labels_second
+
+    def test_zero_count(self):
+        features, labels = synthetic_image_features(0)
+        assert features.shape == (0, 64)
+        assert labels == []
+
+    def test_validation(self):
+        with pytest.raises(SimilarityError):
+            synthetic_image_features(-1)
+        with pytest.raises(SimilarityError):
+            synthetic_image_features(1, num_classes=0)
+        with pytest.raises(SimilarityError):
+            synthetic_image_features(1, noise=-0.5)
+
+
+class TestFeatureBucket:
+    def test_deterministic(self):
+        vector = [0.5, -0.2, 0.9, -0.1]
+        assert feature_bucket(vector) == feature_bucket(vector)
+
+    def test_in_range(self):
+        features, _ = synthetic_image_features(30, dim=16)
+        for row in features:
+            assert 0 <= feature_bucket(row, buckets=64) < 64
+
+    def test_similar_vectors_same_bucket(self):
+        base = np.array([1.0, -1.0, 1.0, -1.0, 1.0, -1.0, 1.0, -1.0])
+        wiggled = base + 0.01
+        assert feature_bucket(base) == feature_bucket(wiggled)

@@ -1,0 +1,92 @@
+"""Scheme registry and profile tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.systems.base import SystemConfig, SystemProfile
+from repro.systems.registry import SCHEME_NAMES, make_system, profile_for
+from repro.wan.presets import uniform_sites
+
+
+class TestProfiles:
+    def test_all_schemes_present(self):
+        assert set(SCHEME_NAMES) == {
+            "spark",
+            "centralized",
+            "iridium",
+            "iridium-c",
+            "bohr-sim",
+            "bohr-joint",
+            "bohr-rdd",
+            "bohr",
+        }
+
+    def test_baseline_profiles(self):
+        spark = profile_for("spark")
+        assert spark.placement_strategy == "none"
+        assert not spark.uses_cubes
+        centralized = profile_for("centralized")
+        assert centralized.placement_strategy == "centralized"
+
+    def test_capability_matrix(self):
+        iridium = profile_for("iridium")
+        assert not iridium.uses_cubes
+        assert not iridium.uses_similarity
+        iridium_c = profile_for("iridium-c")
+        assert iridium_c.uses_cubes and not iridium_c.uses_similarity
+        bohr_sim = profile_for("bohr-sim")
+        assert bohr_sim.uses_similarity and not bohr_sim.joint_placement
+        bohr_joint = profile_for("bohr-joint")
+        assert bohr_joint.joint_placement and not bohr_joint.rdd_similarity
+        bohr_rdd = profile_for("bohr-rdd")
+        assert bohr_rdd.rdd_similarity and not bohr_rdd.joint_placement
+        bohr = profile_for("bohr")
+        assert all(
+            (bohr.uses_cubes, bohr.uses_similarity, bohr.joint_placement,
+             bohr.rdd_similarity)
+        )
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            profile_for("mapreduce-classic")
+
+    def test_invalid_profiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemProfile("x", uses_cubes=False, uses_similarity=True,
+                          placement_strategy="heuristic", rdd_similarity=False)
+        with pytest.raises(ConfigurationError):
+            SystemProfile("x", uses_cubes=True, uses_similarity=False,
+                          placement_strategy="joint", rdd_similarity=False)
+        with pytest.raises(ConfigurationError):
+            SystemProfile("x", uses_cubes=True, uses_similarity=True,
+                          placement_strategy="psychic", rdd_similarity=False)
+
+
+class TestSystemConfig:
+    def test_defaults_valid(self):
+        config = SystemConfig()
+        assert config.probe_k == 30  # the paper's default
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(lag_seconds=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(probe_k=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(partition_records=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(num_reduce_tasks=0)
+        with pytest.raises(ConfigurationError):
+            SystemConfig(dimsum_gamma=0)
+
+
+class TestMakeSystem:
+    def test_constructs_controller(self):
+        topology = uniform_sites(3)
+        controller = make_system("bohr", topology)
+        assert controller.profile.name == "bohr"
+        assert controller.engine.rdd_similarity
+
+    def test_iridium_engine_plain(self):
+        controller = make_system("iridium", uniform_sites(2))
+        assert not controller.engine.rdd_similarity

@@ -1,0 +1,46 @@
+"""ASCII bar chart tests."""
+
+import pytest
+
+from repro.util.tabulate import bar_chart
+
+
+class TestBarChart:
+    def test_positive_bars_scale_to_max(self):
+        art = bar_chart([("a", 10.0), ("b", 5.0)], width=20)
+        lines = art.splitlines()
+        assert lines[0].count("#") == 20
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        art = bar_chart([("a", 1.0)], title="Figure X")
+        assert art.splitlines()[0] == "Figure X"
+
+    def test_negative_values_cross_axis(self):
+        art = bar_chart([("good", 30.0), ("bad", -15.0)], width=20)
+        good_line, bad_line = art.splitlines()
+        assert "|" in good_line and "|" in bad_line
+        # Negative bar sits left of the axis, positive right.
+        assert bad_line.index("#") < bad_line.index("|")
+        assert good_line.index("|") < good_line.index("#")
+
+    def test_empty(self):
+        assert bar_chart([], title="none") == "none"
+        assert bar_chart([]) == ""
+
+    def test_all_zero(self):
+        art = bar_chart([("a", 0.0)])
+        assert "#" not in art
+
+    def test_unit_suffix(self):
+        art = bar_chart([("a", 2.5)], unit="s")
+        assert "2.50s" in art
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", 1.0)], width=2)
+
+    def test_labels_aligned(self):
+        art = bar_chart([("long-label", 1.0), ("x", 2.0)])
+        first, second = art.splitlines()
+        assert first.index("|") == second.index("|")

@@ -1,0 +1,58 @@
+"""RNG derivation and table formatting tests."""
+
+from repro.util.rng import derive_rng, spawn_seeds
+from repro.util.tabulate import format_table
+
+
+class TestDeriveRng:
+    def test_deterministic(self):
+        a = derive_rng(42, "tokyo").integers(0, 10**9, size=5)
+        b = derive_rng(42, "tokyo").integers(0, 10**9, size=5)
+        assert list(a) == list(b)
+
+    def test_label_independence(self):
+        a = derive_rng(42, "tokyo").integers(0, 10**9, size=5)
+        b = derive_rng(42, "oregon").integers(0, 10**9, size=5)
+        assert list(a) != list(b)
+
+    def test_seed_independence(self):
+        a = derive_rng(1, "x").integers(0, 10**9, size=5)
+        b = derive_rng(2, "x").integers(0, 10**9, size=5)
+        assert list(a) != list(b)
+
+    def test_multiple_labels(self):
+        a = derive_rng(7, "a", 1).integers(0, 10**9)
+        b = derive_rng(7, "a", 2).integers(0, 10**9)
+        assert a != b
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(3, 10)) == 10
+
+    def test_deterministic(self):
+        assert spawn_seeds(3, 4) == spawn_seeds(3, 4)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(3, 100)
+        assert len(set(seeds)) == 100
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        table = format_table([[1, 2.5], [30, 4]], headers=["a", "bb"])
+        lines = table.splitlines()
+        assert "| a " in lines[1]
+        assert "2.50" in table
+        assert lines[0].startswith("+-")
+
+    def test_title(self):
+        table = format_table([[1]], title="Figure 6")
+        assert table.splitlines()[0] == "Figure 6"
+
+    def test_empty(self):
+        assert format_table([], title="empty") == "empty"
+
+    def test_ragged_rows_padded(self):
+        table = format_table([[1, 2], [3]])
+        assert table.count("|") > 0

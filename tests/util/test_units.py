@@ -1,0 +1,108 @@
+"""Unit parsing/formatting tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.util.units import (
+    GB,
+    KB,
+    MB,
+    format_bytes,
+    format_rate,
+    format_seconds,
+    parse_bytes,
+    parse_rate,
+)
+
+
+class TestParseBytes:
+    def test_plain_integer(self):
+        assert parse_bytes(1024) == 1024
+
+    def test_float_truncates(self):
+        assert parse_bytes(10.9) == 10
+
+    def test_gb_suffix(self):
+        assert parse_bytes("40GB") == 40 * GB
+
+    def test_mb_with_spaces(self):
+        assert parse_bytes(" 512 mb ") == 512 * MB
+
+    def test_short_suffix(self):
+        assert parse_bytes("2k") == 2 * KB
+
+    def test_fractional(self):
+        assert parse_bytes("1.5KB") == 1536
+
+    def test_bare_number_string(self):
+        assert parse_bytes("100") == 100
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_bytes(-1)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_bytes("forty gigabytes")
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_bytes("3xb")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_bytes(True)
+
+
+class TestParseRate:
+    def test_with_per_second(self):
+        assert parse_rate("100MB/s") == 100 * MB
+
+    def test_without_per_second(self):
+        assert parse_rate("5GB") == 5 * GB
+
+    def test_numeric(self):
+        assert parse_rate(1e9) == 1e9
+
+    def test_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_rate(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_rate("-5MB/s")
+
+
+class TestFormatting:
+    def test_format_bytes_gb(self):
+        assert format_bytes(40 * GB) == "40.00GB"
+
+    def test_format_bytes_small(self):
+        assert format_bytes(17) == "17B"
+
+    def test_format_rate(self):
+        assert format_rate(100 * MB) == "100.00MB/s"
+
+    def test_format_seconds_sub_minute(self):
+        assert format_seconds(1.534) == "1.53s"
+
+    def test_format_seconds_minutes(self):
+        assert format_seconds(125) == "2m 05.0s"
+
+    def test_format_seconds_hours(self):
+        assert format_seconds(3725) == "1h 2m 05.0s"
+
+    def test_format_seconds_negative(self):
+        assert format_seconds(-1.5) == "-1.50s"
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=10**15))
+    def test_parse_accepts_ints(self, num):
+        assert parse_bytes(num) == num
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    def test_kb_round_trip(self, num):
+        assert parse_bytes(f"{num}KB") == num * KB

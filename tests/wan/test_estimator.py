@@ -1,0 +1,84 @@
+"""Bandwidth estimator tests."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wan.estimator import BandwidthEstimator
+from repro.wan.presets import uniform_sites
+from repro.wan.transfer import Transfer, TransferResult, TransferScheduler
+
+
+class TestBandwidthEstimator:
+    def test_defaults_to_topology(self):
+        topology = uniform_sites(2, uplink=123.0)
+        estimator = BandwidthEstimator(topology)
+        assert estimator.uplink("site-0") == 123.0
+        assert estimator.downlink("site-1") == 123.0
+
+    def test_first_observation_taken_verbatim(self):
+        estimator = BandwidthEstimator(uniform_sites(2))
+        estimator.observe("site-0", "up", 50.0)
+        assert estimator.uplink("site-0") == 50.0
+
+    def test_ewma_blends(self):
+        estimator = BandwidthEstimator(uniform_sites(2), alpha=0.5)
+        estimator.observe("site-0", "up", 100.0)
+        estimator.observe("site-0", "up", 50.0)
+        assert math.isclose(estimator.uplink("site-0"), 75.0)
+
+    def test_converges_to_stable_value(self):
+        estimator = BandwidthEstimator(uniform_sites(2), alpha=0.3)
+        for _ in range(100):
+            estimator.observe("site-0", "up", 42.0)
+        assert math.isclose(estimator.uplink("site-0"), 42.0)
+
+    def test_invalid_direction(self):
+        estimator = BandwidthEstimator(uniform_sites(2))
+        with pytest.raises(ConfigurationError):
+            estimator.observe("site-0", "sideways", 1.0)
+
+    def test_unknown_site(self):
+        estimator = BandwidthEstimator(uniform_sites(2))
+        with pytest.raises(ConfigurationError):
+            estimator.observe("mars", "up", 1.0)
+
+    def test_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            BandwidthEstimator(uniform_sites(2), alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            BandwidthEstimator(uniform_sites(2), alpha=1.5)
+
+    def test_nonpositive_sample_ignored(self):
+        estimator = BandwidthEstimator(uniform_sites(2, uplink=99.0))
+        estimator.observe("site-0", "up", 0.0)
+        assert estimator.uplink("site-0") == 99.0
+        assert estimator.sample_count("site-0", "up") == 0
+
+    def test_observe_transfers_learns_real_bandwidth(self):
+        topology = uniform_sites(2, uplink=100.0)
+        scheduler = TransferScheduler(topology)
+        estimator = BandwidthEstimator(topology)
+        results = scheduler.simulate([Transfer("site-0", "site-1", 1000.0)])
+        estimator.observe_transfers(results)
+        assert math.isclose(estimator.uplink("site-0"), 100.0, rel_tol=1e-6)
+        assert estimator.sample_count("site-0", "up") == 1
+        assert estimator.sample_count("site-1", "down") == 1
+
+    def test_intra_site_transfers_skipped(self):
+        topology = uniform_sites(2)
+        estimator = BandwidthEstimator(topology)
+        estimator.observe_transfers(
+            [TransferResult(Transfer("site-0", "site-0", 10.0), finish_time=1.0)]
+        )
+        assert estimator.sample_count("site-0", "up") == 0
+
+    def test_estimated_topology_roundtrip(self):
+        topology = uniform_sites(3, uplink=100.0)
+        estimator = BandwidthEstimator(topology)
+        estimator.observe("site-0", "up", 10.0)
+        estimated = estimator.estimated_topology()
+        assert estimated.uplink("site-0") == 10.0
+        assert estimated.uplink("site-1") == 100.0
+        assert len(estimated) == 3

@@ -1,0 +1,111 @@
+"""Site and topology tests."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.wan.presets import ALL_REGIONS, ec2_ten_sites, uniform_sites
+from repro.wan.topology import Site, WanTopology
+
+
+class TestSite:
+    def test_create_parses_rates(self):
+        site = Site.create("tokyo", "100MB/s", "200MB/s")
+        assert site.uplink_bps == 100 * 1024**2
+        assert site.downlink_bps == 200 * 1024**2
+
+    def test_executors(self):
+        site = Site.create("x", 1e6, 1e6, machines=3, executors_per_machine=4)
+        assert site.executors == 12
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TopologyError):
+            Site(name="", uplink_bps=1, downlink_bps=1)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(TopologyError):
+            Site(name="x", uplink_bps=0, downlink_bps=1)
+        with pytest.raises(TopologyError):
+            Site(name="x", uplink_bps=1, downlink_bps=-2)
+
+    def test_rejects_zero_machines(self):
+        with pytest.raises(TopologyError):
+            Site(name="x", uplink_bps=1, downlink_bps=1, machines=0)
+
+    def test_describe(self):
+        assert "tokyo" in Site.create("tokyo", 1e6, 1e6).describe()
+
+
+class TestWanTopology:
+    def test_duplicate_site_rejected(self):
+        with pytest.raises(TopologyError):
+            WanTopology.from_sites(
+                [Site("a", 1, 1), Site("a", 2, 2)]
+            )
+
+    def test_unknown_site_lookup(self):
+        topology = uniform_sites(2)
+        with pytest.raises(TopologyError):
+            topology.site("nowhere")
+
+    def test_contains_and_len(self):
+        topology = uniform_sites(3)
+        assert "site-0" in topology
+        assert len(topology) == 3
+
+    def test_uplinks_downlinks_maps(self):
+        topology = uniform_sites(2, uplink="10MB/s", downlink="20MB/s")
+        assert set(topology.uplinks()) == {"site-0", "site-1"}
+        assert topology.downlink("site-0") == 2 * topology.uplink("site-0")
+
+    def test_validate_needs_two_sites(self):
+        with pytest.raises(TopologyError):
+            uniform_sites(1).validate()
+        uniform_sites(2).validate()
+
+    def test_bottleneck_without_data_is_slowest_uplink(self):
+        topology = WanTopology.from_sites(
+            [Site("fast", 100.0, 100.0), Site("slow", 1.0, 100.0)]
+        )
+        assert topology.bottleneck_site() == "slow"
+
+    def test_bottleneck_with_data_weights_by_upload_time(self):
+        topology = WanTopology.from_sites(
+            [Site("fast", 100.0, 100.0), Site("slow", 10.0, 100.0)]
+        )
+        # fast site holds 100x the data: 10000/100 > 10/10.
+        assert topology.bottleneck_site({"fast": 10000.0, "slow": 10.0}) == "fast"
+
+    def test_bottleneck_rejects_unknown_site_in_data(self):
+        with pytest.raises(TopologyError):
+            uniform_sites(2).bottleneck_site({"mars": 1.0})
+
+    def test_bottleneck_empty_topology(self):
+        with pytest.raises(TopologyError):
+            WanTopology().bottleneck_site()
+
+
+class TestPresets:
+    def test_ten_regions(self):
+        topology = ec2_ten_sites()
+        assert len(topology) == 10
+        assert set(topology.site_names) == set(ALL_REGIONS)
+
+    def test_bandwidth_tiers_match_paper(self):
+        topology = ec2_ten_sites(base_uplink=1000.0)
+        # Fast tier 5x slow, mid tier 2x slow (fast = 2.5x mid, §8.1).
+        assert topology.uplink("tokyo") == 5000.0
+        assert topology.uplink("virginia") == 2000.0
+        assert topology.uplink("london") == 1000.0
+        assert topology.uplink("tokyo") == 2.5 * topology.uplink("virginia")
+
+    def test_asymmetry(self):
+        topology = ec2_ten_sites(base_uplink=1000.0, asymmetry=2.0)
+        assert topology.downlink("tokyo") == 2 * topology.uplink("tokyo")
+
+    def test_uniform_sites_names(self):
+        topology = uniform_sites(4)
+        assert topology.site_names == ["site-0", "site-1", "site-2", "site-3"]
+
+    def test_uniform_count_validation(self):
+        with pytest.raises(Exception):
+            uniform_sites(0)

@@ -1,0 +1,202 @@
+"""Max-min fair transfer scheduler tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.wan.presets import uniform_sites
+from repro.wan.topology import Site, WanTopology
+from repro.wan.transfer import Transfer, TransferScheduler
+
+
+def two_sites(up_a=100.0, down_a=100.0, up_b=100.0, down_b=100.0):
+    return WanTopology.from_sites(
+        [Site("a", up_a, down_a), Site("b", up_b, down_b)]
+    )
+
+
+class TestSingleTransfer:
+    def test_limited_by_uplink(self):
+        scheduler = TransferScheduler(two_sites(up_a=10.0, down_b=100.0))
+        [result] = scheduler.simulate([Transfer("a", "b", 100.0)])
+        assert math.isclose(result.finish_time, 10.0)
+
+    def test_limited_by_downlink(self):
+        scheduler = TransferScheduler(two_sites(up_a=100.0, down_b=10.0))
+        [result] = scheduler.simulate([Transfer("a", "b", 100.0)])
+        assert math.isclose(result.finish_time, 10.0)
+
+    def test_zero_bytes_completes_at_start(self):
+        scheduler = TransferScheduler(two_sites())
+        [result] = scheduler.simulate([Transfer("a", "b", 0.0, start_time=3.0)])
+        assert result.finish_time == 3.0
+        assert result.throughput_bps == 0.0
+
+    def test_start_time_offsets_finish(self):
+        scheduler = TransferScheduler(two_sites(up_a=10.0))
+        [result] = scheduler.simulate([Transfer("a", "b", 100.0, start_time=5.0)])
+        assert math.isclose(result.finish_time, 15.0)
+        assert math.isclose(result.duration, 10.0)
+
+    def test_intra_site_uses_lan(self):
+        scheduler = TransferScheduler(two_sites(), lan_bps=100.0)
+        [result] = scheduler.simulate([Transfer("a", "a", 1000.0)])
+        assert math.isclose(result.finish_time, 10.0)
+
+    def test_unknown_site_rejected(self):
+        scheduler = TransferScheduler(two_sites())
+        with pytest.raises(TopologyError):
+            scheduler.simulate([Transfer("a", "zzz", 1.0)])
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(TopologyError):
+            Transfer("a", "b", -1.0)
+
+
+class TestSharing:
+    def test_two_flows_share_uplink(self):
+        # Both flows leave site a (uplink 10); each gets 5 => 20s for 100B.
+        topology = WanTopology.from_sites(
+            [Site("a", 10.0, 1000.0), Site("b", 1000.0, 1000.0), Site("c", 1000.0, 1000.0)]
+        )
+        scheduler = TransferScheduler(topology)
+        results = scheduler.simulate(
+            [Transfer("a", "b", 100.0), Transfer("a", "c", 100.0)]
+        )
+        for result in results:
+            assert math.isclose(result.finish_time, 20.0)
+
+    def test_bandwidth_reclaimed_after_completion(self):
+        # Flow 1 is short; after it completes flow 2 should speed up.
+        topology = WanTopology.from_sites(
+            [Site("a", 10.0, 1000.0), Site("b", 1000.0, 1000.0), Site("c", 1000.0, 1000.0)]
+        )
+        scheduler = TransferScheduler(topology)
+        results = scheduler.simulate(
+            [Transfer("a", "b", 50.0), Transfer("a", "c", 100.0)]
+        )
+        short, long_flow = results
+        # Share 5 each: short finishes at t=10. Long has 50 left at rate 10 => t=15.
+        assert math.isclose(short.finish_time, 10.0)
+        assert math.isclose(long_flow.finish_time, 15.0)
+
+    def test_downlink_contention(self):
+        topology = WanTopology.from_sites(
+            [Site("a", 1000.0, 1000.0), Site("b", 1000.0, 1000.0), Site("c", 1000.0, 10.0)]
+        )
+        scheduler = TransferScheduler(topology)
+        results = scheduler.simulate(
+            [Transfer("a", "c", 100.0), Transfer("b", "c", 100.0)]
+        )
+        for result in results:
+            assert math.isclose(result.finish_time, 20.0)
+
+    def test_maxmin_unequal_bottlenecks(self):
+        # Flow x: a->b, flow y: a->c where c's downlink (2) < fair share (5).
+        # y is frozen at 2, x gets the residual 8.
+        topology = WanTopology.from_sites(
+            [Site("a", 10.0, 1000.0), Site("b", 1000.0, 1000.0), Site("c", 1000.0, 2.0)]
+        )
+        scheduler = TransferScheduler(topology)
+        results = scheduler.simulate(
+            [Transfer("a", "b", 80.0), Transfer("a", "c", 20.0)]
+        )
+        x, y = results
+        assert math.isclose(x.finish_time, 10.0)
+        assert math.isclose(y.finish_time, 10.0)
+
+    def test_staggered_arrival(self):
+        # Second flow arrives mid-way; rates re-split on arrival.
+        topology = WanTopology.from_sites(
+            [Site("a", 10.0, 1000.0), Site("b", 1000.0, 1000.0), Site("c", 1000.0, 1000.0)]
+        )
+        scheduler = TransferScheduler(topology)
+        results = scheduler.simulate(
+            [Transfer("a", "b", 100.0), Transfer("a", "c", 100.0, start_time=5.0)]
+        )
+        first, second = results
+        # First runs alone 0-5 (50B done), then shares: 50 left at 5 => done t=15.
+        assert math.isclose(first.finish_time, 15.0)
+        # Second: 5-15 at rate 5 (50B), then alone at 10: 50 left => t=20.
+        assert math.isclose(second.finish_time, 20.0)
+
+    def test_makespan(self):
+        scheduler = TransferScheduler(two_sites(up_a=10.0))
+        makespan = scheduler.makespan(
+            [Transfer("a", "b", 50.0), Transfer("a", "b", 50.0)]
+        )
+        assert math.isclose(makespan, 10.0)
+
+    def test_makespan_empty(self):
+        assert TransferScheduler(two_sites()).makespan([]) == 0.0
+
+    def test_serial_time_is_upper_bound_for_shared_link(self):
+        scheduler = TransferScheduler(two_sites(up_a=10.0))
+        transfers = [Transfer("a", "b", 50.0), Transfer("a", "b", 50.0)]
+        assert scheduler.serial_time(transfers) >= scheduler.makespan(transfers) - 1e-9
+
+
+class TestConservation:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=8),
+        num_sites=st.integers(min_value=2, max_value=4),
+    )
+    def test_all_transfers_finish(self, sizes, num_sites):
+        topology = uniform_sites(num_sites, uplink=1000.0)
+        scheduler = TransferScheduler(topology)
+        transfers = [
+            Transfer(f"site-{i % num_sites}", f"site-{(i + 1) % num_sites}", size)
+            for i, size in enumerate(sizes)
+        ]
+        results = scheduler.simulate(transfers)
+        assert len(results) == len(transfers)
+        for result in results:
+            assert result.finish_time >= result.transfer.start_time
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        sizes=st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=8)
+    )
+    def test_makespan_at_least_total_bytes_over_capacity(self, sizes):
+        # All flows leave one site: makespan >= sum(bytes)/uplink.
+        topology = WanTopology.from_sites(
+            [Site("src", 100.0, 100.0), Site("dst", 1e9, 1e9)]
+        )
+        scheduler = TransferScheduler(topology)
+        transfers = [Transfer("src", "dst", size) for size in sizes]
+        makespan = scheduler.makespan(transfers)
+        assert makespan >= sum(sizes) / 100.0 - 1e-6
+        # And max-min fairness cannot do worse than serial either.
+        assert makespan <= scheduler.serial_time(transfers) + 1e-6
+
+
+class TestPropagationDelay:
+    def test_wan_transfer_delayed_by_latency(self):
+        scheduler = TransferScheduler(two_sites(up_a=10.0), propagation_seconds=0.2)
+        [result] = scheduler.simulate([Transfer("a", "b", 100.0)])
+        assert math.isclose(result.finish_time, 10.2)
+
+    def test_intra_site_unaffected(self):
+        scheduler = TransferScheduler(
+            two_sites(), lan_bps=100.0, propagation_seconds=5.0
+        )
+        [result] = scheduler.simulate([Transfer("a", "a", 1000.0)])
+        assert math.isclose(result.finish_time, 10.0)
+
+    def test_zero_byte_wan_transfer_pays_latency(self):
+        scheduler = TransferScheduler(two_sites(), propagation_seconds=0.5)
+        [result] = scheduler.simulate([Transfer("a", "b", 0.0, start_time=1.0)])
+        assert math.isclose(result.finish_time, 1.5)
+
+    def test_default_is_zero_latency(self):
+        plain = TransferScheduler(two_sites(up_a=10.0))
+        [result] = plain.simulate([Transfer("a", "b", 100.0)])
+        assert math.isclose(result.finish_time, 10.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(TopologyError):
+            TransferScheduler(two_sites(), propagation_seconds=-1.0)

@@ -1,0 +1,103 @@
+"""Image workload tests (the §4.1 VSM/LSH data path)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.query.spec import QueryClass
+from repro.similarity.checker import intra_site_similarity
+from repro.wan.presets import uniform_sites
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.images import image_schema, images_workload
+
+TOPOLOGY = uniform_sites(3)
+SMALL = WorkloadSpec(records_per_site=40, record_bytes=1000, num_datasets=2)
+
+
+class TestImagesWorkload:
+    def test_structure(self):
+        workload = images_workload(TOPOLOGY, spec=SMALL)
+        assert workload.name == "images"
+        assert len(workload.catalog) == 2
+        schema = workload.schema(workload.dataset_ids[0])
+        assert "bucket" in schema
+        for dataset in workload.catalog:
+            assert dataset.total_records > 0
+
+    def test_near_duplicates_share_buckets(self):
+        # Low-noise features of the same class should mostly collapse
+        # into few buckets -> high intra-site similarity for the cube.
+        workload = images_workload(TOPOLOGY, spec=SMALL, noise=0.02, num_classes=4)
+        dataset = next(iter(workload.catalog))
+        schema = workload.schema(dataset.dataset_id)
+        bucket_index = [schema.index("bucket")]
+        from repro.olap.cube import OLAPCube
+
+        records = dataset.all_records()
+        cube = OLAPCube.from_records(records, schema, ["bucket"])
+        similarity = intra_site_similarity(cube)
+        assert similarity > 0.5  # strong aggregation potential
+
+    def test_more_noise_more_buckets(self):
+        def bucket_count(noise):
+            workload = images_workload(
+                TOPOLOGY, spec=SMALL, noise=noise, num_classes=4, seed=5
+            )
+            dataset = next(iter(workload.catalog))
+            schema = workload.schema(dataset.dataset_id)
+            index = schema.index("bucket")
+            return len({r.values[index] for r in dataset.all_records()})
+
+        assert bucket_count(0.02) <= bucket_count(0.8)
+
+    def test_queries_are_aggregations(self):
+        workload = images_workload(TOPOLOGY, spec=SMALL)
+        assert workload.queries
+        assert all(
+            q.spec.query_class == QueryClass.AGGREGATION for q in workload.queries
+        )
+
+    def test_deterministic(self):
+        first = images_workload(TOPOLOGY, spec=SMALL, seed=9)
+        second = images_workload(TOPOLOGY, spec=SMALL, seed=9)
+        for a, b in zip(first.catalog, second.catalog):
+            assert a.bytes_by_site() == b.bytes_by_site()
+
+    def test_build_workload_dispatch(self):
+        from repro.workloads import build_workload
+
+        assert build_workload("images", TOPOLOGY).name == "images"
+
+    def test_scale_validation(self):
+        with pytest.raises(WorkloadError):
+            images_workload(TOPOLOGY, scale=0)
+
+    def test_schema_fields(self):
+        schema = image_schema()
+        assert schema.names == ["bucket", "label", "region", "date", "feature_norm"]
+
+    def test_end_to_end_with_bohr(self):
+        """The full pipeline runs on image data (probe -> LP -> execute)."""
+        from repro.systems.base import SystemConfig
+        from repro.systems.registry import make_system
+
+        topology = uniform_sites(3, uplink="1MB/s", machines=1,
+                                 executors_per_machine=2)
+        workload = images_workload(
+            topology, spec=WorkloadSpec(records_per_site=20, record_bytes=50_000,
+                                        num_datasets=1),
+            seed=3,
+        )
+        controller = make_system(
+            "bohr", topology, SystemConfig(lag_seconds=60.0, partition_records=8)
+        )
+        report = controller.prepare(workload)
+        assert report.probes
+        jobs = controller.run_all_queries(workload, limit=3)
+        assert all(job.qct >= 0.0 for job in jobs)
+        # Images combine: intermediate < map output somewhere.
+        assert any(
+            metrics.combine_savings > 0.0
+            for job in jobs
+            for metrics in job.per_site.values()
+            if metrics.map_output_bytes > 0
+        )

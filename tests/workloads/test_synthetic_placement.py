@@ -1,0 +1,154 @@
+"""Synthetic generator and initial placement tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.similarity.metrics import intra_similarity
+from repro.types import Schema
+from repro.wan.presets import uniform_sites
+from repro.workloads.placement_init import (
+    InitialPlacement,
+    assign_records,
+    region_names_for,
+)
+from repro.workloads.synthetic import (
+    SyntheticDatasetConfig,
+    generate_records,
+    log_schema,
+    zipf_weights,
+)
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        assert zipf_weights(10, 1.2).sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, 1.0)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_higher_exponent_more_skew(self):
+        mild = zipf_weights(20, 0.5)
+        steep = zipf_weights(20, 2.0)
+        assert steep[0] > mild[0]
+
+
+class TestGenerateRecords:
+    def test_count_and_schema(self):
+        records = generate_records("d", ["r0", "r1"], 50, record_bytes=100)
+        assert len(records) == 50
+        schema = log_schema()
+        for record in records[:5]:
+            schema.validate_record(record)
+            assert record.size_bytes == 100
+
+    def test_deterministic(self):
+        first = generate_records("d", ["r0"], 20, seed=3)
+        second = generate_records("d", ["r0"], 20, seed=3)
+        assert [r.values for r in first] == [r.values for r in second]
+
+    def test_locality_bias_controls_key_mix(self):
+        local_heavy = generate_records(
+            "d", ["r0", "r1"], 300,
+            config=SyntheticDatasetConfig(locality_bias=0.95), seed=1,
+        )
+        global_heavy = generate_records(
+            "d", ["r0", "r1"], 300,
+            config=SyntheticDatasetConfig(locality_bias=0.05), seed=1,
+        )
+        local_count = sum(1 for r in local_heavy if "/local-" in str(r.values[0]))
+        global_count = sum(1 for r in global_heavy if "/local-" in str(r.values[0]))
+        assert local_count > global_count
+
+    def test_zero_count(self):
+        assert generate_records("d", ["r0"], 0) == []
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_records("d", [], 10)
+        with pytest.raises(WorkloadError):
+            generate_records("d", ["r0"], -1)
+        with pytest.raises(WorkloadError):
+            SyntheticDatasetConfig(locality_bias=1.5)
+        with pytest.raises(WorkloadError):
+            SyntheticDatasetConfig(zipf_exponent=0)
+
+    def test_popular_keys_shared_across_regions(self):
+        records = generate_records(
+            "d", ["r0", "r1"], 400,
+            config=SyntheticDatasetConfig(locality_bias=0.3), seed=5,
+        )
+        schema = log_schema()
+        url_index, region_index = schema.index("url"), schema.index("region")
+        keys_by_region = {}
+        for record in records:
+            keys_by_region.setdefault(record.values[region_index], set()).add(
+                record.values[url_index]
+            )
+        shared = keys_by_region["r0"] & keys_by_region["r1"]
+        assert len(shared) > 0  # cross-site similarity exists
+
+
+class TestAssignRecords:
+    def test_random_spreads_over_sites(self):
+        topology = uniform_sites(4)
+        records = generate_records("d", region_names_for(topology), 200)
+        dataset = assign_records(
+            "d", log_schema(), records, topology, InitialPlacement.RANDOM
+        )
+        nonempty = [site for site in topology.site_names if dataset.shard(site)]
+        assert len(nonempty) == 4
+        assert dataset.total_records == 200
+
+    def test_locality_clusters_regions(self):
+        topology = uniform_sites(4)
+        records = generate_records("d", region_names_for(topology), 200)
+        dataset = assign_records(
+            "d", log_schema(), records, topology, InitialPlacement.LOCALITY
+        )
+        schema = log_schema()
+        region_index = schema.index("region")
+        # Every region must land entirely on one site.
+        site_of_region = {}
+        for site in topology.site_names:
+            for record in dataset.shard(site):
+                region = record.values[region_index]
+                assert site_of_region.setdefault(region, site) == site
+
+    def test_locality_raises_intra_site_similarity(self):
+        topology = uniform_sites(4)
+        records = generate_records(
+            "d", region_names_for(topology), 600,
+            config=SyntheticDatasetConfig(locality_bias=0.8), seed=2,
+        )
+        schema = log_schema()
+        url_index = [schema.index("url")]
+
+        def mean_similarity(placement):
+            dataset = assign_records("d", schema, records, topology, placement)
+            values = [
+                intra_similarity(
+                    record.key(url_index) for record in dataset.shard(site)
+                )
+                for site in topology.site_names
+                if dataset.shard(site)
+            ]
+            return float(np.mean(values))
+
+        assert mean_similarity(InitialPlacement.LOCALITY) > mean_similarity(
+            InitialPlacement.RANDOM
+        )
+
+    def test_empty_records(self):
+        topology = uniform_sites(2)
+        dataset = assign_records("d", log_schema(), [], topology)
+        assert dataset.total_records == 0
+        assert set(dataset.shards) == set(topology.site_names)
+
+    def test_region_names_per_site(self):
+        topology = uniform_sites(3)
+        assert region_names_for(topology) == ["site-0", "site-1", "site-2"]
+        assert len(region_names_for(topology, per_site=2)) == 6
+        with pytest.raises(WorkloadError):
+            region_names_for(topology, per_site=0)

@@ -1,0 +1,94 @@
+"""Trace import/export tests."""
+
+import json
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.wan.presets import uniform_sites
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.bigdata import bigdata_workload
+from repro.workloads.traceio import (
+    load_catalog,
+    load_dataset,
+    save_catalog,
+    save_dataset,
+)
+
+TOPOLOGY = uniform_sites(3)
+
+
+def sample():
+    workload = bigdata_workload(
+        TOPOLOGY, seed=3,
+        spec=WorkloadSpec(records_per_site=10, record_bytes=500, num_datasets=1),
+    )
+    dataset = next(iter(workload.catalog))
+    return dataset, workload.schema(dataset.dataset_id)
+
+
+class TestDatasetRoundTrip:
+    def test_exact_round_trip(self, tmp_path):
+        dataset, schema = sample()
+        path = tmp_path / "trace.jsonl"
+        written = save_dataset(dataset, schema, path)
+        assert written == dataset.total_records
+        loaded, loaded_schema = load_dataset(path)
+        assert loaded.dataset_id == dataset.dataset_id
+        assert loaded_schema.names == schema.names
+        assert loaded.bytes_by_site() == dataset.bytes_by_site()
+        for site in dataset.sites:
+            original = sorted(r.values for r in dataset.shard(site))
+            reloaded = sorted(r.values for r in loaded.shard(site))
+            assert original == reloaded
+
+    def test_kinds_preserved(self, tmp_path):
+        dataset, schema = sample()
+        path = tmp_path / "trace.jsonl"
+        save_dataset(dataset, schema, path)
+        _, loaded_schema = load_dataset(path)
+        assert [a.kind for a in loaded_schema.attributes] == [
+            a.kind for a in schema.attributes
+        ]
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(WorkloadError):
+            load_dataset(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "csv"}) + "\n")
+        with pytest.raises(WorkloadError):
+            load_dataset(path)
+
+
+class TestCatalogRoundTrip:
+    def test_directory_round_trip(self, tmp_path):
+        dataset, schema = sample()
+        paths = save_catalog({"mine": (dataset, schema)}, tmp_path / "traces")
+        assert len(paths) == 1
+        loaded = load_catalog(tmp_path / "traces")
+        assert set(loaded) == {dataset.dataset_id}
+        reloaded, _ = loaded[dataset.dataset_id]
+        assert reloaded.total_records == dataset.total_records
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_catalog(tmp_path / "nope")
+
+    def test_loaded_dataset_runs_on_engine(self, tmp_path):
+        from repro.engine.job import MapReduceEngine
+        from repro.engine.spec import MapReduceSpec
+
+        dataset, schema = sample()
+        path = tmp_path / "trace.jsonl"
+        save_dataset(dataset, schema, path)
+        loaded, loaded_schema = load_dataset(path)
+        engine = MapReduceEngine(TOPOLOGY, partition_records=8)
+        result = engine.run(
+            loaded, MapReduceSpec.of([loaded_schema.index("url")], 1.0)
+        )
+        assert result.qct >= 0.0
+        assert result.total_intermediate_bytes > 0

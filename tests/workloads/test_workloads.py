@@ -1,0 +1,192 @@
+"""Workload builder and dynamic feed tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.query.spec import QueryClass
+from repro.wan.presets import uniform_sites
+from repro.workloads import build_workload
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.bigdata import bigdata_workload
+from repro.workloads.dynamic import DynamicDataFeed
+from repro.workloads.facebook import facebook_workload
+from repro.workloads.tpcds import tpcds_workload
+
+
+TOPOLOGY = uniform_sites(3)
+SMALL = WorkloadSpec(records_per_site=30, record_bytes=1000, num_datasets=2)
+
+
+class TestBigdata:
+    def test_structure(self):
+        workload = bigdata_workload(TOPOLOGY, spec=SMALL)
+        assert len(workload.catalog) == 2
+        assert workload.queries
+        for dataset in workload.catalog:
+            assert dataset.total_records > 0
+            assert workload.queries_for(dataset.dataset_id)
+
+    def test_flavours(self):
+        scan = bigdata_workload(TOPOLOGY, flavour="scan", spec=SMALL)
+        assert all(
+            q.spec.query_class == QueryClass.SCAN for q in scan.queries
+        )
+        udf = bigdata_workload(TOPOLOGY, flavour="udf", spec=SMALL)
+        assert all(q.spec.query_class == QueryClass.UDF for q in udf.queries)
+
+    def test_bad_flavour(self):
+        with pytest.raises(WorkloadError):
+            bigdata_workload(TOPOLOGY, flavour="mystery")
+
+    def test_deterministic(self):
+        first = bigdata_workload(TOPOLOGY, seed=3, spec=SMALL)
+        second = bigdata_workload(TOPOLOGY, seed=3, spec=SMALL)
+        for a, b in zip(first.catalog, second.catalog):
+            assert a.bytes_by_site() == b.bytes_by_site()
+
+    def test_queries_per_dataset_in_range(self):
+        workload = bigdata_workload(TOPOLOGY, spec=SMALL)
+        for dataset in workload.catalog:
+            count = len(workload.queries_for(dataset.dataset_id))
+            assert 2 <= count <= 10
+
+    def test_key_indices(self):
+        workload = bigdata_workload(TOPOLOGY, flavour="aggregation", spec=SMALL)
+        indices = workload.key_indices()
+        assert set(indices) == set(workload.dataset_ids)
+        for positions in indices.values():
+            assert positions
+
+    def test_primary_query(self):
+        workload = bigdata_workload(TOPOLOGY, spec=SMALL)
+        spec = workload.primary_query(workload.dataset_ids[0])
+        assert spec.dataset_id == workload.dataset_ids[0]
+
+    def test_scale(self):
+        small = bigdata_workload(TOPOLOGY, spec=SMALL, scale=1.0)
+        large = bigdata_workload(TOPOLOGY, spec=SMALL, scale=2.0)
+        assert sum(d.total_records for d in large.catalog) > sum(
+            d.total_records for d in small.catalog
+        )
+
+
+class TestTpcds:
+    def test_structure(self):
+        workload = tpcds_workload(TOPOLOGY, spec=SMALL)
+        assert workload.name == "tpcds"
+        assert len(workload.catalog) == 2
+        schema = workload.schema(workload.dataset_ids[0])
+        assert "item" in schema
+        assert "revenue" in schema
+
+    def test_queries_are_aggregations(self):
+        workload = tpcds_workload(TOPOLOGY, spec=SMALL)
+        assert all(
+            q.spec.query_class == QueryClass.AGGREGATION for q in workload.queries
+        )
+
+    def test_stores_are_regional(self):
+        workload = tpcds_workload(TOPOLOGY, spec=SMALL)
+        dataset = next(iter(workload.catalog))
+        schema = workload.schema(dataset.dataset_id)
+        store_idx, region_idx = schema.index("store"), schema.index("region")
+        for record in dataset.all_records()[:20]:
+            assert str(record.values[store_idx]).startswith(
+                str(record.values[region_idx])
+            )
+
+
+class TestFacebook:
+    def test_heavy_tailed_sizes(self):
+        spec = WorkloadSpec(records_per_site=60, record_bytes=100, num_datasets=6)
+        workload = facebook_workload(TOPOLOGY, spec=spec)
+        sizes = sorted(d.total_records for d in workload.catalog)
+        assert sizes[-1] > sizes[0]  # spread exists
+
+    def test_structure(self):
+        workload = facebook_workload(TOPOLOGY, spec=SMALL)
+        assert workload.name == "facebook"
+        assert all(
+            q.spec.query_class == QueryClass.AGGREGATION for q in workload.queries
+        )
+
+
+class TestBuildWorkload:
+    def test_dispatch(self):
+        assert build_workload("tpcds", TOPOLOGY).name == "tpcds"
+        assert build_workload("facebook", TOPOLOGY).name == "facebook"
+        assert build_workload("bigdata-scan", TOPOLOGY).name == "bigdata-scan"
+        assert build_workload("bigdata", TOPOLOGY).name == "bigdata-all"
+
+    def test_unknown(self):
+        with pytest.raises(WorkloadError):
+            build_workload("sap-hana", TOPOLOGY)
+
+    def test_placement_string(self):
+        workload = build_workload("tpcds", TOPOLOGY, placement="locality")
+        assert workload.name == "tpcds"
+
+
+class TestWorkloadContainer:
+    def test_unknown_schema(self):
+        workload = Workload("w", build_workload("tpcds", TOPOLOGY).catalog)
+        with pytest.raises(WorkloadError):
+            workload.schema("nope")
+
+    def test_primary_query_requires_queries(self):
+        base = build_workload("tpcds", TOPOLOGY)
+        workload = Workload("w", base.catalog, queries=[], schemas=base.schemas)
+        with pytest.raises(WorkloadError):
+            workload.primary_query(base.dataset_ids[0])
+
+
+class TestDynamicFeed:
+    def make_dataset(self):
+        workload = bigdata_workload(
+            TOPOLOGY, spec=WorkloadSpec(records_per_site=40, record_bytes=100,
+                                        num_datasets=1)
+        )
+        return next(iter(workload.catalog)), workload.schema(workload.dataset_ids[0])
+
+    def test_split_conserves_records(self):
+        dataset, _schema = self.make_dataset()
+        feed = DynamicDataFeed.split(dataset, initial_fraction=0.25, num_batches=5)
+        assert feed.total_records() == dataset.total_records
+        assert feed.num_batches == 5
+
+    def test_paper_shape(self):
+        # 10GB initial of 40GB total = 0.25; 15 batches of 2GB.
+        dataset, _schema = self.make_dataset()
+        feed = DynamicDataFeed.split(
+            dataset, initial_fraction=0.25, num_batches=15, interval_seconds=20.0
+        )
+        initial = sum(len(records) for records in feed.initial.values())
+        assert initial == pytest.approx(dataset.total_records * 0.25, abs=len(TOPOLOGY) + 1)
+
+    def test_apply_batches(self):
+        dataset, schema = self.make_dataset()
+        feed = DynamicDataFeed.split(dataset, num_batches=4)
+        growing = feed.start_dataset("dyn", schema)
+        start = growing.total_records
+        added_total = 0
+        while not feed.exhausted:
+            added_total += feed.apply_next_batch(growing)
+        assert growing.total_records == start + added_total
+        assert growing.total_records == dataset.total_records
+
+    def test_exhausted_raises(self):
+        dataset, schema = self.make_dataset()
+        feed = DynamicDataFeed.split(dataset, num_batches=1)
+        growing = feed.start_dataset("dyn", schema)
+        feed.apply_next_batch(growing)
+        with pytest.raises(WorkloadError):
+            feed.apply_next_batch(growing)
+
+    def test_validation(self):
+        dataset, _schema = self.make_dataset()
+        with pytest.raises(WorkloadError):
+            DynamicDataFeed.split(dataset, initial_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            DynamicDataFeed.split(dataset, num_batches=0)
+        with pytest.raises(WorkloadError):
+            DynamicDataFeed.split(dataset, interval_seconds=-1)
