@@ -7,12 +7,19 @@
     python -m repro run --scheme bohr --workload tpcds [options]
     python -m repro compare --workload bigdata-aggregation \
         --schemes iridium,iridium-c,bohr [options]
+    python -m repro inspect trace.jsonl [--chrome trace.json]
 
 ``run`` executes one scheme on one workload (with the vanilla in-place
 baseline for the data-reduction metric) and prints the QCT and per-site
 reduction; ``compare`` does the same for several schemes side by side.
 Results can be saved to JSON with ``--json`` and reloaded by
 :mod:`repro.core.persistence`.
+
+``run`` and ``compare`` take ``--trace FILE`` (JSONL span trace),
+``--chrome-trace FILE`` (Chrome ``chrome://tracing`` / Perfetto
+trace-event format) and ``--metrics FILE`` (metrics snapshot JSON);
+``inspect`` renders a saved JSONL trace as a per-stage latency
+breakdown and can convert it to the Chrome format.
 """
 
 from __future__ import annotations
@@ -81,6 +88,22 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--scale", type=float, default=1.0)
         cmd.add_argument("--json", metavar="PATH",
                          help="also write results to a JSON file")
+        cmd.add_argument("--trace", metavar="FILE",
+                         help="write the span trace as JSONL")
+        cmd.add_argument("--chrome-trace", metavar="FILE",
+                         help="write the span trace in Chrome "
+                         "chrome://tracing trace-event format")
+        cmd.add_argument("--metrics", metavar="FILE",
+                         help="write a metrics snapshot as JSON")
+
+    inspect_cmd = commands.add_parser(
+        "inspect", help="per-stage latency breakdown of a saved trace"
+    )
+    inspect_cmd.add_argument("trace", metavar="TRACE",
+                             help="JSONL trace written by --trace")
+    inspect_cmd.add_argument("--chrome", metavar="FILE",
+                             help="also convert the trace to Chrome "
+                             "trace-event format")
     return parser
 
 
@@ -115,6 +138,27 @@ def _print_result(result: ExperimentResult) -> None:
     )
 
 
+def _wants_observability(args: argparse.Namespace) -> bool:
+    return bool(args.trace or args.chrome_trace or args.metrics)
+
+
+def _export_observability(args: argparse.Namespace, obs) -> None:
+    from repro.obs.export import export_chrome, export_jsonl
+
+    if args.trace:
+        export_jsonl(obs.tracer, args.trace)
+        print(f"trace written to {args.trace} ({len(obs.tracer.spans)} spans)")
+    if args.chrome_trace:
+        export_chrome(obs.tracer, args.chrome_trace)
+        print(f"Chrome trace written to {args.chrome_trace}")
+    if args.metrics:
+        obs.metrics.to_json(args.metrics)
+        print(
+            f"metrics written to {args.metrics} "
+            f"({len(obs.metrics.series())} series)"
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -138,28 +182,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(ec2_ten_sites(base_uplink=args.base_uplink).describe())
         return 0
 
-    if args.command == "run":
-        result = _experiment(args.scheme, args)
-        _print_result(result)
-        print()
-        print(render_reduction_table([result],
-                                     title="Data reduction vs in-place (%)"))
-        if args.json:
-            from repro.core.persistence import save_results
+    if args.command == "inspect":
+        from repro.obs.export import export_chrome, load_jsonl
+        from repro.obs.inspect import render_inspection
 
-            save_results([result], args.json)
-            print(f"\nresults written to {args.json}")
+        spans = load_jsonl(args.trace)
+        print(render_inspection(spans, source=args.trace))
+        if args.chrome:
+            export_chrome(spans, args.chrome)
+            print(f"\nChrome trace written to {args.chrome}")
         return 0
 
-    # compare
-    results: List[ExperimentResult] = []
-    for scheme in [s.strip() for s in args.schemes.split(",") if s.strip()]:
-        result = _experiment(scheme, args)
+    if args.command == "run":
+        schemes = [args.scheme]
+    else:  # compare
+        schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
+
+    obs = None
+    if _wants_observability(args):
+        from repro.obs import instrument
+
+        with instrument.instrumented() as obs:
+            results = [_experiment(scheme, args) for scheme in schemes]
+    else:
+        results = [_experiment(scheme, args) for scheme in schemes]
+
+    for result in results:
         _print_result(result)
-        results.append(result)
     print()
-    print(render_qct_table(results, title="Mean QCT (seconds)"))
-    print()
+    if args.command == "compare":
+        print(render_qct_table(results, title="Mean QCT (seconds)"))
+        print()
     print(render_reduction_table(results,
                                  title="Data reduction vs in-place (%)"))
     if args.json:
@@ -167,6 +220,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         save_results(results, args.json)
         print(f"\nresults written to {args.json}")
+    if obs is not None:
+        print()
+        _export_observability(args, obs)
     return 0
 
 

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.engine.job import JobResult, MapReduceEngine
 from repro.errors import ConfigurationError
+from repro.obs import instrument
 from repro.olap.dimension_cube import DimensionCubeSet
 from repro.olap.storage import StorageModel, StorageReport
 from repro.placement.iridium import IridiumPlanner
@@ -105,14 +106,30 @@ class Controller:
 
     def prepare(self, workload: Workload) -> PreparationReport:
         """Run pre-processing, similarity checking, placement, movement."""
+        obs = instrument.current()
+        with obs.tracer.span(
+            "prepare", stage="prepare", scheme=self.profile.name
+        ):
+            return self._prepare(workload, obs)
+
+    def _prepare(self, workload: Workload, obs) -> PreparationReport:
         report = PreparationReport(scheme=self.profile.name)
         if self.profile.uses_cubes:
-            self._build_cubes(workload, report)
+            with obs.tracer.span("cube-build", stage="cube"):
+                self._build_cubes(workload, report)
+            obs.metrics.histogram("cube_build_seconds").observe(
+                report.cube_build_seconds
+            )
         if self.profile.uses_similarity:
-            self._check_similarity(workload, report)
+            with obs.tracer.span("similarity", stage="probe"):
+                self._check_similarity(workload, report)
+            obs.metrics.histogram("probe_build_seconds").observe(
+                report.probe_build_seconds
+            )
 
-        problem = self._placement_problem(workload, report)
-        decision = self._plan(problem, workload)
+        with obs.tracer.span("placement", stage="placement"):
+            problem = self._placement_problem(workload, report)
+            decision = self._plan(problem, workload)
         report.lp_solve_seconds = decision.solve_seconds
         report.planner_iterations = decision.iterations
         report.estimated_shuffle_seconds = decision.estimated_shuffle_seconds
@@ -133,13 +150,17 @@ class Controller:
             reduce_fractions=decision.reduce_fractions,
             policy=policy,
         )
-        report.movement = execute_plan(
-            workload.catalog,
-            plan,
-            workload.key_indices(),
-            self.scheduler,
-            lag_seconds=self.config.lag_seconds,
-            seed=self.config.seed,
+        with obs.tracer.span("movement", stage="movement", policy=policy.name):
+            report.movement = execute_plan(
+                workload.catalog,
+                plan,
+                workload.key_indices(),
+                self.scheduler,
+                lag_seconds=self.config.lag_seconds,
+                seed=self.config.seed,
+            )
+        obs.metrics.counter("moved_bytes", scheme=self.profile.name).inc(
+            report.movement.total_moved_bytes
         )
         self.bandwidth.observe_transfers(report.movement.transfers)
         self._fractions = dict(decision.reduce_fractions)
@@ -197,16 +218,32 @@ class Controller:
     def run_query(self, workload: Workload, query: RecurringQuery) -> JobResult:
         """Execute one recurring query under the prepared placement."""
         spec = query.spec
-        schema = workload.schema(spec.dataset_id)
-        job_spec = compile_query(
-            spec, schema, self.profiler, num_reduce_tasks=self.config.num_reduce_tasks
-        )
-        result = self.engine.run(
-            workload.catalog.get(spec.dataset_id),
-            job_spec,
-            reduce_fractions=self._fractions,
-            cube_sorted=self.profile.uses_cubes,
-        )
+        obs = instrument.current()
+        with obs.tracer.span(
+            f"query:{spec.dataset_id}",
+            stage="query",
+            dataset=spec.dataset_id,
+            scheme=self.profile.name,
+        ) as span:
+            schema = workload.schema(spec.dataset_id)
+            job_spec = compile_query(
+                spec,
+                schema,
+                self.profiler,
+                num_reduce_tasks=self.config.num_reduce_tasks,
+            )
+            result = self.engine.run(
+                workload.catalog.get(spec.dataset_id),
+                job_spec,
+                reduce_fractions=self._fractions,
+                cube_sorted=self.profile.uses_cubes,
+            )
+        if span is not None:
+            span.attrs["qct"] = result.qct
+            span.sim_start, span.sim_end = 0.0, result.qct
+        obs.metrics.histogram(
+            "qct_seconds", scheme=self.profile.name
+        ).observe(result.qct)
         self.profiler.observe(spec, result)
         query.record_execution()
         return result

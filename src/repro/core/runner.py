@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.controller import Controller, PreparationReport
 from repro.engine.job import MapReduceEngine
+from repro.obs import instrument
 from repro.query.compiler import compile_query
 from repro.systems.base import SystemConfig
 from repro.systems.registry import make_system
@@ -94,38 +95,59 @@ def run_experiment(
     """Prepare + execute a scheme, and the vanilla baseline, on fresh
     copies of the same workload."""
     config = config or SystemConfig()
+    obs = instrument.current()
 
     controller = make_system(system_name, topology, config)
     workload = workload_factory()
-    prep = controller.prepare(workload)
-    result = ExperimentResult(
-        system=system_name, workload=workload.name, prep=prep
-    )
-    queries = workload.queries[:query_limit] if query_limit else workload.queries
-    for query in queries:
-        job = controller.run_query(workload, query)
-        result.runs.append(_to_run(query, job))
+    with obs.tracer.span(
+        f"experiment:{system_name}",
+        stage="experiment",
+        scheme=system_name,
+        workload=workload.name,
+    ):
+        prep = controller.prepare(workload)
+        result = ExperimentResult(
+            system=system_name, workload=workload.name, prep=prep
+        )
+        queries = (
+            workload.queries[:query_limit] if query_limit else workload.queries
+        )
+        for query in queries:
+            job = controller.run_query(workload, query)
+            result.runs.append(_to_run(query, job))
 
-    baseline_workload = workload_factory()
-    baseline_engine = MapReduceEngine(
-        topology, partition_records=config.partition_records, seed=config.seed
-    )
-    baseline_queries = (
-        baseline_workload.queries[:query_limit]
-        if query_limit
-        else baseline_workload.queries
-    )
-    for query in baseline_queries:
-        schema = baseline_workload.schema(query.spec.dataset_id)
-        job_spec = compile_query(
-            query.spec, schema, num_reduce_tasks=config.num_reduce_tasks
+        baseline_workload = workload_factory()
+        baseline_engine = MapReduceEngine(
+            topology, partition_records=config.partition_records, seed=config.seed
         )
-        job = baseline_engine.run(
-            baseline_workload.catalog.get(query.spec.dataset_id),
-            job_spec,
-            cube_sorted=False,
+        baseline_queries = (
+            baseline_workload.queries[:query_limit]
+            if query_limit
+            else baseline_workload.queries
         )
-        result.baseline_runs.append(_to_run(query, job))
+        for query in baseline_queries:
+            schema = baseline_workload.schema(query.spec.dataset_id)
+            job_spec = compile_query(
+                query.spec, schema, num_reduce_tasks=config.num_reduce_tasks
+            )
+            with obs.tracer.span(
+                f"query:{query.spec.dataset_id}",
+                stage="query",
+                dataset=query.spec.dataset_id,
+                scheme="vanilla-baseline",
+            ) as span:
+                job = baseline_engine.run(
+                    baseline_workload.catalog.get(query.spec.dataset_id),
+                    job_spec,
+                    cube_sorted=False,
+                )
+            if span is not None:
+                span.attrs["qct"] = job.qct
+                span.sim_start, span.sim_end = 0.0, job.qct
+            obs.metrics.histogram(
+                "qct_seconds", scheme="vanilla-baseline"
+            ).observe(job.qct)
+            result.baseline_runs.append(_to_run(query, job))
     return result
 
 

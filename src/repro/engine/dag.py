@@ -20,6 +20,7 @@ from repro.engine.join import JoinResult, JoinSpec, run_join
 from repro.engine.shuffle import ReduceTaskMap
 from repro.engine.spec import MapReduceSpec
 from repro.errors import EngineError
+from repro.obs import instrument
 from repro.types import GeoDataset, Record, Schema
 
 
@@ -198,6 +199,16 @@ def execute_dag(
             stage_qct = result.qct
 
         finish = start + stage_qct
+        obs = instrument.current()
+        if obs.enabled:
+            obs.tracer.record(
+                f"stage:{stage.name}",
+                stage="dag-stage",
+                sim_start=start,
+                sim_end=finish,
+                output_records=output.total_records,
+            )
+            obs.metrics.counter("dag_stages").inc()
         available[stage.name] = output
         finish_times[stage.name] = finish
         dag.executions.append(

@@ -26,6 +26,7 @@ from repro.engine.rdd import make_partitions, round_robin
 from repro.engine.shuffle import ReduceTaskMap
 from repro.engine.spec import MapReduceSpec
 from repro.errors import EngineError
+from repro.obs import instrument
 from repro.similarity.dimsum import DimsumConfig
 from repro.types import GeoDataset
 from repro.wan.topology import WanTopology
@@ -203,6 +204,7 @@ class MapReduceEngine:
             all_transfers.extend(transfers)
 
         results = self.scheduler.simulate(all_transfers)
+        obs = instrument.current()
         job_results: List[JobResult] = []
         for index, metrics in enumerate(per_job_metrics):
             own = [
@@ -214,8 +216,55 @@ class MapReduceEngine:
             job_result = JobResult(qct=qct, per_site=metrics, transfers=own)
             if collect_keys:
                 job_result.key_counts, job_result.key_bytes = job_key_counts[index]
+            if obs.tracer.enabled:
+                self._record_job_spans(obs.tracer, job_result)
             job_results.append(job_result)
         return job_results
+
+    @staticmethod
+    def _record_job_spans(tracer, result: JobResult) -> None:
+        """Emit simulated-clock map/shuffle/reduce spans for one job.
+
+        The spans nest under whatever span is open on the active tracer
+        (normally the ``query`` span) and carry the phase intervals the
+        post-hoc :class:`~repro.engine.timeline.Timeline` reconstructs —
+        but as machine-readable trace output instead of ASCII art.
+        """
+        for site, site_metrics in result.per_site.items():
+            if site_metrics.input_records or site_metrics.map_finish > 0:
+                tracer.record(
+                    f"map@{site}",
+                    stage="map",
+                    sim_start=0.0,
+                    sim_end=site_metrics.map_finish,
+                    site=site,
+                    input_records=site_metrics.input_records,
+                    intermediate_bytes=site_metrics.intermediate_bytes,
+                    rdd_overhead_seconds=site_metrics.rdd_overhead_seconds,
+                )
+        for transfer_result in result.transfers:
+            transfer = transfer_result.transfer
+            tracer.record(
+                f"shuffle {transfer.src}->{transfer.dst}",
+                stage="shuffle",
+                sim_start=transfer.start_time,
+                sim_end=transfer_result.finish_time,
+                site=transfer.dst,
+                src=transfer.src,
+                dst=transfer.dst,
+                bytes=transfer.num_bytes,
+            )
+        for site, site_metrics in result.per_site.items():
+            if site_metrics.reduce_seconds > 0:
+                tracer.record(
+                    f"reduce@{site}",
+                    stage="reduce",
+                    sim_start=site_metrics.finish_time
+                    - site_metrics.reduce_seconds,
+                    sim_end=site_metrics.finish_time,
+                    site=site,
+                    downloaded_bytes=site_metrics.downloaded_bytes,
+                )
 
     # ------------------------------------------------------------------
 
@@ -294,6 +343,22 @@ class MapReduceEngine:
             site_metrics.rdd_overhead_seconds if self.charge_rdd_overhead else 0.0
         )
         site_metrics.map_finish = site_metrics.map_seconds + overhead
+        metrics = instrument.current().metrics
+        if metrics.enabled:
+            # Combiner hit rate per site = 1 - output/input over these two.
+            metrics.counter("combiner_input_bytes", site=site_name).inc(
+                site_metrics.map_output_bytes
+            )
+            metrics.counter("combiner_output_bytes", site=site_name).inc(
+                site_metrics.intermediate_bytes
+            )
+            metrics.histogram("map_seconds", site=site_name).observe(
+                site_metrics.map_finish
+            )
+            if site_metrics.rdd_overhead_seconds > 0:
+                metrics.histogram("rdd_overhead_seconds", site=site_name).observe(
+                    site_metrics.rdd_overhead_seconds
+                )
         return executor_outputs
 
     def _plan_shuffle(
@@ -310,6 +375,7 @@ class MapReduceEngine:
                 for key, record in output.records.items():
                     dst = task_map.site_of_key(key)
                     volume[(src, dst)] = volume.get((src, dst), 0.0) + record.size_bytes
+        registry = instrument.current().metrics
         transfers: List[Transfer] = []
         for (src, dst), num_bytes in sorted(volume.items()):
             if src == dst:
@@ -317,6 +383,11 @@ class MapReduceEngine:
             else:
                 metrics[src].uploaded_bytes += num_bytes
                 metrics[dst].downloaded_bytes += num_bytes
+            if registry.enabled:
+                metrics_kind = "lan" if src == dst else "wan"
+                registry.counter(
+                    "shuffle_bytes", src=src, dst=dst, link=metrics_kind
+                ).inc(num_bytes)
             transfers.append(
                 Transfer(
                     src=src,

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence
 
 from repro.errors import EngineError
+from repro.obs import instrument
 from repro.similarity.probes import largest_remainder_allocation
 from repro.types import Key
 
@@ -51,6 +52,10 @@ class ReduceTaskMap:
         if any(frac < 0 for frac in fractions.values()):
             raise EngineError("reduce fractions must be >= 0")
         counts = largest_remainder_allocation(positive, num_tasks)
+        metrics = instrument.current().metrics
+        if metrics.enabled:
+            for site, count in counts.items():
+                metrics.gauge("reduce_tasks", site=site).set(count)
         # Interleave: repeatedly deal one task to each site that still has quota.
         remaining = dict(counts)
         order = [site for site in fractions if counts.get(site, 0) > 0]

@@ -49,8 +49,9 @@ class Timeline:
         inbound_finish = {}
         for transfer_result in result.transfers:
             transfer = transfer_result.transfer
-            if transfer.num_bytes <= 0:
-                continue
+            # Zero-byte transfers still render (as instantaneous events)
+            # and still gate the destination's reduce start; dropping
+            # them used to hide entire shuffle edges from the Gantt.
             timeline.events.append(
                 TimelineEvent(
                     site=transfer.dst,
@@ -66,7 +67,10 @@ class Timeline:
                 transfer_result.finish_time,
             )
         for site, metrics in result.per_site.items():
-            if metrics.input_records:
+            # A site that did map work always gets a map event — even
+            # when nothing shuffled in (single-site jobs previously
+            # rendered an empty Gantt).
+            if metrics.input_records or metrics.map_finish > 0:
                 timeline.events.append(
                     TimelineEvent(
                         site=site,

@@ -47,3 +47,7 @@ class SimilarityError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised by workload generators for invalid generation parameters."""
+
+
+class ObservabilityError(ReproError):
+    """Raised on malformed spans, traces or metric operations."""

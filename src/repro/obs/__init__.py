@@ -1,0 +1,53 @@
+"""Observability: tracing, metrics and instrumentation (`repro.obs`).
+
+Bohr's whole argument is a latency decomposition — QCT dominated by WAN
+shuffle, similarity checking "a small fraction of QCT", the LP solving
+fast enough to run per query.  This package makes that decomposition a
+first-class, machine-readable artifact instead of a post-hoc guess:
+
+* :mod:`repro.obs.span` / :mod:`repro.obs.tracer` — hierarchical spans
+  (``experiment > query > probe/lp/map/shuffle/reduce``) carrying both
+  wall-clock and simulated-clock intervals;
+* :mod:`repro.obs.metrics` — counters, gauges and labeled histograms
+  (bytes shuffled per link, combiner hit rate, LP iterations, ...);
+* :mod:`repro.obs.export` — JSONL and Chrome ``chrome://tracing``
+  trace-event export, with JSONL round-trip loading;
+* :mod:`repro.obs.instrument` — the process-wide instrumentation slot;
+  the default is a no-op, so uninstrumented runs pay ~zero cost;
+* :mod:`repro.obs.inspect` — per-stage latency breakdown of a saved
+  trace (the ``python -m repro inspect`` command).
+"""
+
+from repro.obs.instrument import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    current,
+    instrumented,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.span import Span
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTATION",
+    "NULL_METRICS",
+    "NULL_TRACER",
+    "NullMetrics",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "current",
+    "instrumented",
+]

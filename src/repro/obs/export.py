@@ -1,0 +1,170 @@
+"""Trace export: JSONL (with round-trip loading) and Chrome trace events.
+
+JSONL is the machine-readable archive format — one :class:`Span` dict per
+line, loadable with :func:`load_jsonl` (the ``inspect`` command's input).
+
+Chrome export targets the ``chrome://tracing`` / Perfetto trace-event
+JSON format (``{"traceEvents": [...]}``, complete events with ``ph: "X"``
+and microsecond timestamps).  The dual-clock span model maps onto two
+trace *processes*: pid 1 renders wall-clock intervals, pid 2 renders
+simulated-clock intervals, so both decompositions are visible side by
+side without conflating their time bases.  Span nesting is expressed per
+process through ``tid`` lanes (one lane per root span's subtree on the
+wall process; one lane per site on the simulated process).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.span import Span
+from repro.obs.tracer import Tracer
+
+_WALL_PID = 1
+_SIM_PID = 2
+
+
+def _spans_of(source: Union[Tracer, Sequence[Span]]) -> List[Span]:
+    spans = source.spans if isinstance(source, Tracer) else list(source)
+    return sorted(spans, key=lambda span: span.span_id)
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+
+
+def export_jsonl(source: Union[Tracer, Sequence[Span]], path: str) -> None:
+    """Write one span per line, in span-id order."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in _spans_of(source):
+            handle.write(json.dumps(span.to_dict(), sort_keys=True))
+            handle.write("\n")
+
+
+def load_jsonl(path: str) -> List[Span]:
+    """Load spans written by :func:`export_jsonl`."""
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ObservabilityError(
+                    f"{path}:{line_number}: invalid JSON ({error})"
+                ) from None
+            spans.append(Span.from_dict(record))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events
+# ----------------------------------------------------------------------
+
+
+def _metadata_event(pid: int, tid: int, name: str, kind: str) -> Dict[str, Any]:
+    return {
+        "name": kind,
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
+def _subtree_lanes(spans: Sequence[Span]) -> Dict[int, int]:
+    """Assign each span the lane (tid) of its root ancestor."""
+    parents = {span.span_id: span.parent_id for span in spans}
+    lanes: Dict[int, int] = {}
+    root_lane: Dict[int, int] = {}
+    for span in spans:
+        node = span.span_id
+        while parents.get(node) is not None:
+            node = parents[node]  # type: ignore[assignment]
+        if node not in root_lane:
+            root_lane[node] = len(root_lane) + 1
+        lanes[span.span_id] = root_lane[node]
+    return lanes
+
+
+def chrome_trace_events(
+    source: Union[Tracer, Sequence[Span]]
+) -> List[Dict[str, Any]]:
+    """All spans as Chrome trace-event dicts (metadata events first)."""
+    spans = _spans_of(source)
+    events: List[Dict[str, Any]] = [
+        _metadata_event(_WALL_PID, 0, "wall-clock", "process_name"),
+        _metadata_event(_SIM_PID, 0, "simulated-clock", "process_name"),
+    ]
+    lanes = _subtree_lanes(spans)
+
+    sim_lanes: Dict[str, int] = {}
+    for span in spans:
+        if span.wall_end is not None:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.stage or "span",
+                    "ph": "X",
+                    "pid": _WALL_PID,
+                    "tid": lanes[span.span_id],
+                    "ts": span.wall_start * 1e6,
+                    "dur": max(span.wall_duration, 0.0) * 1e6,
+                    "args": {"span_id": span.span_id, **span.attrs},
+                }
+            )
+        if span.is_simulated:
+            site = str(span.attrs.get("site", "global"))
+            if site not in sim_lanes:
+                sim_lanes[site] = len(sim_lanes) + 1
+                events.append(
+                    _metadata_event(
+                        _SIM_PID, sim_lanes[site], site, "thread_name"
+                    )
+                )
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.stage or "span",
+                    "ph": "X",
+                    "pid": _SIM_PID,
+                    "tid": sim_lanes[site],
+                    "ts": (span.sim_start or 0.0) * 1e6,
+                    "dur": span.sim_duration * 1e6,
+                    "args": {"span_id": span.span_id, **span.attrs},
+                }
+            )
+    return events
+
+
+def export_chrome(source: Union[Tracer, Sequence[Span]], path: str) -> None:
+    """Write the Chrome ``chrome://tracing`` JSON object format."""
+    document = {
+        "traceEvents": chrome_trace_events(source),
+        "displayTimeUnit": "ms",
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+
+
+def validate_chrome_events(events: Iterable[Dict[str, Any]]) -> None:
+    """Cheap structural validation of trace events (used by tests/CI)."""
+    for event in events:
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                raise ObservabilityError(
+                    f"trace event missing {field!r}: {event}"
+                )
+        if event["ph"] == "X":
+            if "ts" not in event or "dur" not in event:
+                raise ObservabilityError(
+                    f"complete event missing ts/dur: {event}"
+                )
+            if event["dur"] < 0:
+                raise ObservabilityError(f"negative duration: {event}")

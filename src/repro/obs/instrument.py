@@ -1,0 +1,90 @@
+"""The process-wide instrumentation slot.
+
+Every instrumented call site does::
+
+    from repro.obs import instrument
+    ...
+    obs = instrument.current()
+    with obs.tracer.span("lp", stage="lp"):
+        ...
+    obs.metrics.counter("lp_solves").inc()
+
+By default :func:`current` returns :data:`NULL_INSTRUMENTATION`, whose
+tracer and metrics are the no-op twins — a disabled call site costs a
+function call and a couple of attribute lookups, keeping the
+tracing-off overhead of ``run_experiment`` well under the 3% budget.
+
+Enable collection for a region with :func:`instrumented`::
+
+    with instrument.instrumented() as obs:
+        run_experiment(...)
+    export_jsonl(obs.tracer, "trace.jsonl")
+
+The slot is deliberately process-global rather than threaded through
+every constructor: the engine, solver, WAN simulator and similarity
+checker are called from many entry points (CLI, benchmarks, tests) and
+instrumentation must not reshape those APIs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+
+
+@dataclass
+class Instrumentation:
+    """A tracer/metrics pair handed to instrumented call sites."""
+
+    tracer: Union[Tracer, NullTracer] = field(default_factory=lambda: NULL_TRACER)
+    metrics: Union[MetricsRegistry, NullMetrics] = field(
+        default_factory=lambda: NULL_METRICS
+    )
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+
+NULL_INSTRUMENTATION = Instrumentation()
+
+_current: Instrumentation = NULL_INSTRUMENTATION
+
+
+def current() -> Instrumentation:
+    """The active instrumentation (the no-op pair unless installed)."""
+    return _current
+
+
+def install(instrumentation: Optional[Instrumentation] = None) -> Instrumentation:
+    """Install (or reset to no-op with ``None``) the active instrumentation."""
+    global _current
+    _current = instrumentation or NULL_INSTRUMENTATION
+    return _current
+
+
+@contextmanager
+def instrumented(
+    tracer: Optional[Union[Tracer, NullTracer]] = None,
+    metrics: Optional[Union[MetricsRegistry, NullMetrics]] = None,
+) -> Iterator[Instrumentation]:
+    """Activate live collection for a region, restoring the prior slot.
+
+    With no arguments, a fresh :class:`Tracer` and
+    :class:`MetricsRegistry` are created; pass explicit instances (or the
+    null twins) to share or suppress either half.
+    """
+    instrumentation = Instrumentation(
+        tracer=tracer if tracer is not None else Tracer(),
+        metrics=metrics if metrics is not None else MetricsRegistry(),
+    )
+    previous = current()
+    install(instrumentation)
+    try:
+        yield instrumentation
+    finally:
+        install(previous)

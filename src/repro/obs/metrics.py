@@ -1,0 +1,242 @@
+"""Counters, gauges and histograms with labeled series.
+
+A :class:`MetricsRegistry` hands out metric instances keyed by name plus
+a frozen label set, Prometheus-style::
+
+    metrics.counter("shuffle_bytes", src="tokyo", dst="oregon").inc(4096)
+    metrics.histogram("lp_solve_seconds").observe(0.012)
+
+Snapshots serialize every series to a plain dict (for ``--metrics FILE``)
+and render as an ASCII table (reusing :mod:`repro.util.tabulate`).
+
+:data:`NULL_METRICS` is the no-op twin: every factory returns a shared
+dummy whose mutators do nothing, so instrumented hot paths stay ~free
+when metrics are disabled.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+#: Series key: (metric name, sorted label items).
+_SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _series_key(name: str, labels: Mapping[str, Any]) -> _SeriesKey:
+    return (name, tuple(sorted((key, str(value)) for key, value in labels.items())))
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Sample accumulator with exact percentiles.
+
+    Sample counts here are small (per-query observations), so the
+    histogram keeps raw samples and computes exact linear-interpolation
+    percentiles rather than bucketed approximations.
+    """
+
+    __slots__ = ("name", "labels", "samples")
+
+    def __init__(self, name: str, labels: Mapping[str, str]) -> None:
+        self.name = name
+        self.labels = dict(labels)
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact percentile ``q`` in [0, 100] with linear interpolation."""
+        if not 0.0 <= q <= 100.0:
+            raise ObservabilityError(f"percentile must be in [0, 100], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q / 100.0 * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+class MetricsRegistry:
+    """Process-local registry of labeled metric series."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._series: "Dict[_SeriesKey, Counter | Gauge | Histogram]" = {}
+
+    def _get(self, kind: type, name: str, labels: Mapping[str, Any]):
+        key = _series_key(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            series = kind(name, {k: str(v) for k, v in labels.items()})
+            self._series[key] = series
+        elif not isinstance(series, kind):
+            raise ObservabilityError(
+                f"metric {name!r} already registered as "
+                f"{type(series).__name__}, not {kind.__name__}"
+            )
+        return series
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+
+    def series(self) -> "List[Counter | Gauge | Histogram]":
+        return [self._series[key] for key in sorted(self._series)]
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """All series as JSON-serializable dicts."""
+        out: List[Dict[str, Any]] = []
+        for series in self.series():
+            record: Dict[str, Any] = {
+                "name": series.name,
+                "labels": series.labels,
+                "type": type(series).__name__.lower(),
+            }
+            if isinstance(series, Histogram):
+                record.update(
+                    count=series.count,
+                    sum=series.sum,
+                    mean=series.mean,
+                    p50=series.percentile(50),
+                    p90=series.percentile(90),
+                    p99=series.percentile(99),
+                    max=max(series.samples) if series.samples else 0.0,
+                )
+            else:
+                record["value"] = series.value
+            out.append(record)
+        return out
+
+    def to_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    def render_text(self, title: Optional[str] = "metrics") -> str:
+        from repro.util.tabulate import format_table
+
+        rows: List[List[object]] = []
+        for record in self.snapshot():
+            labels = ",".join(
+                f"{key}={value}" for key, value in sorted(record["labels"].items())
+            )
+            if record["type"] == "histogram":
+                value = (
+                    f"count={record['count']} mean={record['mean']:.4g} "
+                    f"p50={record['p50']:.4g} p90={record['p90']:.4g} "
+                    f"p99={record['p99']:.4g}"
+                )
+            else:
+                value = f"{record['value']:.6g}"
+            rows.append([record["name"], labels, record["type"], value])
+        return format_table(
+            rows, headers=("metric", "labels", "type", "value"), title=title
+        )
+
+
+class _NullMetric:
+    """Shared dummy accepted by every metric call site."""
+
+    __slots__ = ()
+    name = ""
+    labels: Dict[str, str] = {}
+    value = 0.0
+    samples: List[float] = []
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+    def set(self, value: float) -> None:
+        return None
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullMetrics:
+    """Registry twin whose factories return a shared no-op metric."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str, **labels: Any) -> _NullMetric:
+        return _NULL_METRIC
+
+    def series(self) -> List[Any]:
+        return []
+
+    def snapshot(self) -> List[Dict[str, Any]]:
+        return []
+
+
+NULL_METRICS = NullMetrics()

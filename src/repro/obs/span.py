@@ -1,0 +1,132 @@
+"""Spans: one named interval on the wall clock, the simulated clock, or both.
+
+The repository runs a *simulation*: a query's map/shuffle/reduce phases
+occupy simulated seconds (what the paper's figures report), while the
+offline machinery — cube building, probe construction, LP solving — costs
+real wall-clock seconds (what Tables 3–5 report).  A span therefore
+carries two independent intervals:
+
+* ``wall_start``/``wall_end`` — seconds of real time since the tracer's
+  epoch, measured with ``time.perf_counter``;
+* ``sim_start``/``sim_end`` — seconds on the simulated clock, taken from
+  the engine/WAN simulator; ``None`` for spans that only exist in real
+  time.
+
+Spans form a tree via ``parent_id``; the root spans of an export have
+``parent_id is None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ObservabilityError
+
+
+@dataclass
+class Span:
+    """One node of the trace tree."""
+
+    span_id: int
+    name: str
+    stage: str = ""
+    parent_id: Optional[int] = None
+    wall_start: float = 0.0
+    wall_end: Optional[float] = None
+    sim_start: Optional[float] = None
+    sim_end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.wall_end is not None and self.wall_end < self.wall_start:
+            raise ObservabilityError(
+                f"span {self.name!r}: wall_end {self.wall_end} precedes "
+                f"wall_start {self.wall_start}"
+            )
+        if (
+            self.sim_start is not None
+            and self.sim_end is not None
+            and self.sim_end < self.sim_start
+        ):
+            raise ObservabilityError(
+                f"span {self.name!r}: sim_end {self.sim_end} precedes "
+                f"sim_start {self.sim_start}"
+            )
+
+    @property
+    def wall_duration(self) -> float:
+        """Elapsed wall seconds; 0.0 while the span is still open."""
+        if self.wall_end is None:
+            return 0.0
+        return self.wall_end - self.wall_start
+
+    @property
+    def sim_duration(self) -> float:
+        """Elapsed simulated seconds; 0.0 without a simulated interval."""
+        if self.sim_start is None or self.sim_end is None:
+            return 0.0
+        return self.sim_end - self.sim_start
+
+    @property
+    def duration(self) -> float:
+        """The span's natural duration: simulated if present, else wall."""
+        if self.sim_start is not None and self.sim_end is not None:
+            return self.sim_duration
+        return self.wall_duration
+
+    @property
+    def is_simulated(self) -> bool:
+        return self.sim_start is not None and self.sim_end is not None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (the JSONL line)."""
+        record: Dict[str, Any] = {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "stage": self.stage,
+            "wall_start": self.wall_start,
+            "wall_end": self.wall_end,
+        }
+        if self.sim_start is not None:
+            record["sim_start"] = self.sim_start
+        if self.sim_end is not None:
+            record["sim_end"] = self.sim_end
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Span":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                span_id=int(record["span_id"]),
+                name=str(record["name"]),
+                stage=str(record.get("stage", "")),
+                parent_id=(
+                    None
+                    if record.get("parent_id") is None
+                    else int(record["parent_id"])
+                ),
+                wall_start=float(record.get("wall_start", 0.0)),
+                wall_end=(
+                    None
+                    if record.get("wall_end") is None
+                    else float(record["wall_end"])
+                ),
+                sim_start=(
+                    None
+                    if record.get("sim_start") is None
+                    else float(record["sim_start"])
+                ),
+                sim_end=(
+                    None
+                    if record.get("sim_end") is None
+                    else float(record["sim_end"])
+                ),
+                attrs=dict(record.get("attrs", {})),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ObservabilityError(f"malformed span record: {error}") from None

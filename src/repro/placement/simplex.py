@@ -20,8 +20,21 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import SolverError
+from repro.obs import instrument
 
 _TOL = 1e-9
+
+
+def _record_iterations(result: "SimplexResult") -> "SimplexResult":
+    """Publish iteration counts to the active metrics registry."""
+    metrics = instrument.current().metrics
+    if metrics.enabled:
+        metrics.counter("simplex_solves", status=result.status).inc()
+        metrics.counter("simplex_iterations").inc(result.iterations)
+        metrics.histogram("simplex_iterations_per_solve").observe(
+            result.iterations
+        )
+    return result
 
 
 @dataclass
@@ -72,8 +85,12 @@ def simplex_solve(
     if not rows:
         # Unconstrained (beyond x >= 0): optimum at 0 unless some c < 0.
         if np.any(c < -_TOL):
-            return SimplexResult(np.zeros(num_vars), -np.inf, 0, "unbounded")
-        return SimplexResult(np.zeros(num_vars), 0.0, 0, "optimal")
+            return _record_iterations(
+                SimplexResult(np.zeros(num_vars), -np.inf, 0, "unbounded")
+            )
+        return _record_iterations(
+            SimplexResult(np.zeros(num_vars), 0.0, 0, "optimal")
+        )
 
     matrix = np.vstack(rows)
     b = np.asarray(rhs, dtype=float)
@@ -115,7 +132,9 @@ def simplex_solve(
             tableau_a, b, phase1_c, basis, max_iterations
         )
         if status != "optimal":
-            return SimplexResult(np.zeros(num_vars), 0.0, iterations1, status)
+            return _record_iterations(
+                SimplexResult(np.zeros(num_vars), 0.0, iterations1, status)
+            )
         phase1_value = float(
             sum(
                 phase1_c[basis[row]] * b[row]
@@ -123,7 +142,9 @@ def simplex_solve(
             )
         )
         if phase1_value > 1e-7:
-            return SimplexResult(np.zeros(num_vars), 0.0, iterations1, "infeasible")
+            return _record_iterations(
+                SimplexResult(np.zeros(num_vars), 0.0, iterations1, "infeasible")
+            )
         _pivot_out_artificials(tableau_a, b, basis, total_real)
         tableau_a = tableau_a[:, :total_real]
         basis = [col if col < total_real else -1 for col in basis]
@@ -144,7 +165,9 @@ def simplex_solve(
         x_full[column] = b[row]
     x = x_full[:num_vars]
     objective = float(c @ x)
-    return SimplexResult(x, objective, iterations1 + iterations2, status)
+    return _record_iterations(
+        SimplexResult(x, objective, iterations1 + iterations2, status)
+    )
 
 
 def _iterate(

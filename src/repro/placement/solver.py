@@ -13,6 +13,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import SolverError
+from repro.obs import instrument
 from repro.placement.simplex import simplex_solve
 
 
@@ -63,6 +64,22 @@ def solve_lp(program: LinearProgram, backend: str = "auto") -> LpSolution:
     """
     if backend not in ("auto", "scipy", "simplex"):
         raise SolverError(f"unknown backend {backend!r}")
+    obs = instrument.current()
+    with obs.tracer.span(
+        "lp-solve", stage="placement", variables=program.num_variables
+    ) as span:
+        solution = _solve(program, backend)
+    if span is not None:
+        span.attrs["backend"] = solution.backend
+        span.attrs["objective"] = solution.objective
+    if obs.metrics.enabled:
+        obs.metrics.counter("lp_solves", backend=solution.backend).inc()
+        obs.metrics.histogram("lp_solve_seconds").observe(solution.solve_seconds)
+        obs.metrics.gauge("lp_variables").set(program.num_variables)
+    return solution
+
+
+def _solve(program: LinearProgram, backend: str) -> LpSolution:
     started = time.perf_counter()
     if backend in ("auto", "scipy"):
         try:

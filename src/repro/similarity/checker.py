@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Tuple
 
 from repro.errors import SimilarityError
+from repro.obs import instrument
 from repro.olap.cube import OLAPCube
 from repro.olap.dimension_cube import DimensionCubeSet, QueryTypeKey
 from repro.similarity.probes import Probe
@@ -84,6 +85,20 @@ class SimilarityChecker:
         self.total_checks += 1
         self.total_seconds += elapsed
         self._history.append(result)
+        obs = instrument.current()
+        if obs.enabled:
+            obs.tracer.record(
+                f"similarity-check {probe.origin_site}->{target_site}",
+                stage="probe",
+                wall_seconds=elapsed,
+                dataset=probe.dataset_id,
+                origin=probe.origin_site,
+                target=target_site,
+                similarity=similarity,
+            )
+            obs.metrics.counter("similarity_checks").inc()
+            obs.metrics.histogram("similarity_check_seconds").observe(elapsed)
+            obs.metrics.histogram("cross_site_similarity").observe(similarity)
         return result
 
     def check_against_sites(

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import SimilarityError
+from repro.obs import instrument
 from repro.olap.dimension_cube import DimensionCubeSet, QueryTypeKey, query_type_key
 from repro.olap.storage import PROBE_RECORD_BYTES
 from repro.types import Key
@@ -131,6 +132,22 @@ class ProbeBuilder:
         if not probe.records:
             raise SimilarityError(
                 f"probe for dataset {dataset_id!r} is empty; are the cubes empty?"
+            )
+        obs = instrument.current()
+        if obs.enabled:
+            obs.tracer.record(
+                f"probe-build {dataset_id}",
+                stage="probe",
+                dataset=dataset_id,
+                origin=origin_site,
+                records=len(probe.records),
+                bytes=probe.size_bytes,
+            )
+            obs.metrics.counter("probe_records", dataset=dataset_id).inc(
+                len(probe.records)
+            )
+            obs.metrics.counter("probe_bytes", dataset=dataset_id).inc(
+                probe.size_bytes
             )
         return probe
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TopologyError
+from repro.obs import instrument
 from repro.wan.topology import WanTopology
 
 #: Resource key: ("up"|"down", site_name).
@@ -114,6 +115,28 @@ class TransferScheduler:
 
     def simulate(self, transfers: Sequence[Transfer]) -> List[TransferResult]:
         """Simulate all transfers; returns results in input order."""
+        obs = instrument.current()
+        with obs.tracer.span(
+            "wan-simulate", stage="wan", transfers=len(transfers)
+        ):
+            results, filling_rounds = self._simulate(transfers)
+        if obs.metrics.enabled:
+            obs.metrics.counter("wan_simulations").inc()
+            obs.metrics.counter("wan_filling_rounds").inc(filling_rounds)
+            obs.metrics.counter("wan_transfers").inc(len(transfers))
+            for result in results:
+                if result.transfer.src != result.transfer.dst:
+                    obs.metrics.counter(
+                        "wan_bytes",
+                        src=result.transfer.src,
+                        dst=result.transfer.dst,
+                    ).inc(result.transfer.num_bytes)
+        return results
+
+    def _simulate(
+        self, transfers: Sequence[Transfer]
+    ) -> Tuple[List[TransferResult], int]:
+        """The event loop; returns results plus progressive-filling rounds."""
         self._check_sites(transfers)
         counter = itertools.count()
         flows = [
@@ -127,6 +150,7 @@ class TransferScheduler:
         active: List[_Flow] = []
         finish_times: Dict[int, float] = {}
         now = 0.0
+        filling_rounds = 0
 
         while pending or active:
             if not active:
@@ -148,6 +172,7 @@ class TransferScheduler:
                 continue
 
             self._assign_rates(active, now)
+            filling_rounds += 1
             horizon = self._next_event_in(active, pending, now)
             next_epoch = self._next_profile_change(now)
             if next_epoch is not None:
@@ -164,10 +189,15 @@ class TransferScheduler:
                     still_active.append(flow)
             active = still_active
 
-        return [
-            TransferResult(transfer=flow.transfer, finish_time=finish_times[flow.flow_id])
-            for flow in flows
-        ]
+        return (
+            [
+                TransferResult(
+                    transfer=flow.transfer, finish_time=finish_times[flow.flow_id]
+                )
+                for flow in flows
+            ],
+            filling_rounds,
+        )
 
     def makespan(self, transfers: Sequence[Transfer]) -> float:
         """Time at which the last transfer completes (0.0 for none)."""

@@ -91,3 +91,55 @@ class TestTimeline:
         timeline = Timeline.from_job(run_job())
         last_end = max(event.end for event in timeline.events)
         assert last_end == pytest.approx(timeline.qct, rel=1e-6)
+
+
+class TestTimelineRegressions:
+    """Regression: zero-byte transfers and single-site jobs must render."""
+
+    def test_zero_byte_transfer_not_dropped(self):
+        from repro.engine.job import JobResult, SiteMetrics
+        from repro.wan.transfer import Transfer, TransferResult
+
+        transfer = Transfer(src="a", dst="b", num_bytes=0.0, start_time=1.0)
+        result = JobResult(
+            qct=1.0,
+            per_site={
+                "a": SiteMetrics(site="a", input_records=1, map_finish=1.0),
+                "b": SiteMetrics(site="b"),
+            },
+            transfers=[TransferResult(transfer=transfer, finish_time=1.0)],
+        )
+        timeline = Timeline.from_job(result)
+        shuffles = [e for e in timeline.events if e.phase == "shuffle-in"]
+        assert len(shuffles) == 1
+        assert shuffles[0].duration == 0.0
+        assert shuffles[0].site == "b"
+
+    def test_single_site_job_renders_map_event(self):
+        """A site that did map work but saw no inbound transfers (and has
+        no input_records counted) still gets a map bar."""
+        from repro.engine.job import JobResult, SiteMetrics
+
+        result = JobResult(
+            qct=0.8,
+            per_site={"solo": SiteMetrics(site="solo", map_finish=0.8)},
+            transfers=[],
+        )
+        timeline = Timeline.from_job(result)
+        assert [e.phase for e in timeline.events] == ["map"]
+        assert timeline.render() != "(empty timeline)"
+
+    def test_real_single_site_job_gantt_nonempty(self):
+        topology = WanTopology.from_sites(
+            [Site("solo", 1000.0, 1000.0, compute_bps=1e9,
+                  machines=1, executors_per_machine=1)]
+        )
+        dataset = GeoDataset("logs", SCHEMA)
+        dataset.add_records(
+            "solo", [Record((f"k{i}", 1), size_bytes=1000) for i in range(4)]
+        )
+        engine = MapReduceEngine(topology, partition_records=2)
+        result = engine.run(dataset, MapReduceSpec.of([0], 1.0))
+        timeline = Timeline.from_job(result)
+        assert timeline.events
+        assert timeline.render() != "(empty timeline)"

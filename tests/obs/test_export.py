@@ -1,0 +1,121 @@
+"""Trace export: JSONL round-trip and Chrome trace-event structure."""
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import Tracer
+from repro.obs.export import (
+    chrome_trace_events,
+    export_chrome,
+    export_jsonl,
+    load_jsonl,
+    validate_chrome_events,
+)
+
+
+def build_trace() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("experiment", stage="experiment", scheme="bohr"):
+        with tracer.span("query", stage="query", dataset="d0") as query:
+            tracer.record(
+                "map@a", stage="map", sim_start=0.0, sim_end=1.5, site="a"
+            )
+            tracer.record(
+                "shuffle a->b", stage="shuffle", sim_start=1.5, sim_end=4.0,
+                site="b", src="a", dst="b", bytes=1000,
+            )
+            query.attrs["qct"] = 4.0
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        tracer = build_trace()
+        path = tmp_path / "trace.jsonl"
+        export_jsonl(tracer, str(path))
+        loaded = load_jsonl(str(path))
+        assert len(loaded) == len(tracer.spans)
+        for original, restored in zip(tracer.spans, loaded):
+            assert restored.span_id == original.span_id
+            assert restored.parent_id == original.parent_id
+            assert restored.name == original.name
+            assert restored.stage == original.stage
+            assert restored.sim_start == original.sim_start
+            assert restored.sim_end == original.sim_end
+            assert restored.attrs == original.attrs
+            assert restored.wall_start == pytest.approx(original.wall_start)
+            assert restored.wall_end == pytest.approx(original.wall_end)
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        export_jsonl(build_trace(), str(path))
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+        assert len(lines) == 4
+        for line in lines:
+            record = json.loads(line)
+            assert "span_id" in record and "name" in record
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"span_id": 0, "name": "ok"}\nnot json\n')
+        with pytest.raises(ObservabilityError):
+            load_jsonl(str(path))
+
+
+class TestChromeExport:
+    def test_events_validate(self):
+        events = chrome_trace_events(build_trace())
+        validate_chrome_events(events)
+        complete = [e for e in events if e["ph"] == "X"]
+        # 3 wall spans (experiment/query live on the wall clock; record()'d
+        # spans are instantaneous wall events too) + 3 simulated events.
+        assert len(complete) >= 5
+        pids = {e["pid"] for e in complete}
+        assert pids == {1, 2}  # wall-clock and simulated-clock processes
+
+    def test_sim_events_use_sim_timestamps(self):
+        events = chrome_trace_events(build_trace())
+        sim = [e for e in events if e["ph"] == "X" and e["pid"] == 2]
+        by_name = {e["name"]: e for e in sim}
+        assert by_name["map@a"]["ts"] == 0.0
+        assert by_name["map@a"]["dur"] == pytest.approx(1.5e6)
+        assert by_name["shuffle a->b"]["ts"] == pytest.approx(1.5e6)
+
+    def test_metadata_names_processes(self):
+        events = chrome_trace_events(build_trace())
+        metadata = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in metadata}
+        assert {"wall-clock", "simulated-clock"} <= names
+
+    def test_export_chrome_document_loads(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome(build_trace(), str(path))
+        document = json.loads(path.read_text())
+        assert "traceEvents" in document
+        validate_chrome_events(document["traceEvents"])
+
+    def test_chrome_round_trip_from_jsonl(self, tmp_path):
+        """JSONL trace → loaded spans → Chrome events (the inspect
+        --chrome path) must equal exporting the live tracer directly."""
+        tracer = build_trace()
+        jsonl = tmp_path / "trace.jsonl"
+        export_jsonl(tracer, str(jsonl))
+        from_disk = chrome_trace_events(load_jsonl(str(jsonl)))
+        live = chrome_trace_events(tracer)
+        assert len(from_disk) == len(live)
+        for disk_event, live_event in zip(from_disk, live):
+            assert disk_event["name"] == live_event["name"]
+            assert disk_event["pid"] == live_event["pid"]
+            assert disk_event.get("ts", 0.0) == pytest.approx(
+                live_event.get("ts", 0.0)
+            )
+
+    def test_validation_catches_missing_fields(self):
+        with pytest.raises(ObservabilityError):
+            validate_chrome_events([{"name": "x", "ph": "X", "pid": 1}])
+        with pytest.raises(ObservabilityError):
+            validate_chrome_events(
+                [{"name": "x", "ph": "X", "pid": 1, "tid": 1}]
+            )

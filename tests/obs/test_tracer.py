@@ -1,0 +1,178 @@
+"""Tracer behaviour: nesting, ordering, record(), and the no-op twin."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import NULL_TRACER, Span, Tracer, instrument
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("experiment", stage="experiment"):
+            with tracer.span("query", stage="query"):
+                tracer.record("map@a", stage="map", sim_start=0.0, sim_end=1.0)
+            with tracer.span("query", stage="query"):
+                pass
+        [experiment] = tracer.roots()
+        queries = tracer.children_of(experiment.span_id)
+        assert [span.name for span in queries] == ["query", "query"]
+        [map_span] = tracer.children_of(queries[0].span_id)
+        assert map_span.stage == "map"
+        assert tracer.children_of(queries[1].span_id) == []
+
+    def test_span_ids_are_creation_ordered(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        ids = [span.span_id for span in tracer.spans]
+        assert ids == sorted(ids)
+        assert [span.name for span in tracer.spans] == ["a", "b", "c"]
+
+    def test_wall_times_are_monotonic_and_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.find("outer")[0], tracer.find("inner")[0]
+        assert outer.wall_start <= inner.wall_start
+        assert inner.wall_end <= outer.wall_end
+        assert outer.wall_duration >= inner.wall_duration
+
+    def test_out_of_order_close_raises(self):
+        tracer = Tracer()
+        outer = tracer.span("outer")
+        inner = tracer.span("inner")
+        outer.__enter__(), inner.__enter__()
+        with pytest.raises(ObservabilityError):
+            tracer._finish(outer.span)
+
+    def test_stack_unwinds_on_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                raise RuntimeError("boom")
+        assert tracer.current_span is None
+        assert tracer.find("outer")[0].wall_end is not None
+
+    def test_record_requires_no_open_span(self):
+        tracer = Tracer()
+        span = tracer.record("lonely", stage="map", sim_start=0.0, sim_end=2.0)
+        assert span.parent_id is None
+        assert span.sim_duration == 2.0
+
+    def test_attrs_flow_through(self):
+        tracer = Tracer()
+        with tracer.span("query", stage="query", dataset="d0") as span:
+            span.attrs["qct"] = 4.2
+        saved = tracer.find("query")[0]
+        assert saved.attrs == {"dataset": "d0", "qct": 4.2}
+
+
+class TestSpanValidation:
+    def test_sim_interval_must_be_ordered(self):
+        with pytest.raises(ObservabilityError):
+            Span(span_id=0, name="bad", sim_start=2.0, sim_end=1.0)
+
+    def test_wall_interval_must_be_ordered(self):
+        with pytest.raises(ObservabilityError):
+            Span(span_id=0, name="bad", wall_start=2.0, wall_end=1.0)
+
+    def test_duration_prefers_simulated_clock(self):
+        span = Span(
+            span_id=0, name="s", wall_start=0.0, wall_end=0.5,
+            sim_start=0.0, sim_end=9.0,
+        )
+        assert span.duration == 9.0
+        assert span.wall_duration == 0.5
+
+
+class TestNullTracer:
+    def test_null_tracer_collects_nothing(self):
+        with NULL_TRACER.span("x", stage="query") as span:
+            assert span is None
+        NULL_TRACER.record("y", stage="map", sim_start=0.0, sim_end=1.0)
+        assert NULL_TRACER.spans == []
+        assert not NULL_TRACER.enabled
+
+    def test_default_instrumentation_is_noop(self):
+        obs = instrument.current()
+        assert not obs.enabled
+        assert obs.tracer is NULL_TRACER
+
+    def test_engine_emits_no_spans_when_disabled(self):
+        from repro.engine.job import MapReduceEngine
+        from repro.engine.spec import MapReduceSpec
+        from repro.types import GeoDataset, Record, Schema
+        from repro.wan.topology import Site, WanTopology
+
+        topology = WanTopology.from_sites(
+            [
+                Site("a", 1000.0, 1000.0, compute_bps=1e9,
+                     machines=1, executors_per_machine=1),
+                Site("b", 1000.0, 1000.0, compute_bps=1e9,
+                     machines=1, executors_per_machine=1),
+            ]
+        )
+        schema = Schema.of("k", "v", kinds={"v": "numeric"})
+        dataset = GeoDataset("d", schema)
+        dataset.add_records(
+            "a", [Record((f"k{i}", 1), size_bytes=100) for i in range(4)]
+        )
+        engine = MapReduceEngine(topology, partition_records=2)
+        engine.run(dataset, MapReduceSpec.of([0], 1.0))
+        assert instrument.current().tracer.spans == []
+
+
+class TestInstrumented:
+    def test_instrumented_installs_and_restores(self):
+        before = instrument.current()
+        with instrument.instrumented() as obs:
+            assert instrument.current() is obs
+            assert obs.enabled
+            with obs.tracer.span("probe", stage="probe"):
+                pass
+        assert instrument.current() is before
+        assert [span.name for span in obs.tracer.spans] == ["probe"]
+
+    def test_instrumented_restores_on_error(self):
+        before = instrument.current()
+        with pytest.raises(ValueError):
+            with instrument.instrumented():
+                raise ValueError("boom")
+        assert instrument.current() is before
+
+    def test_engine_spans_nest_under_query(self):
+        from repro.engine.job import MapReduceEngine
+        from repro.engine.spec import MapReduceSpec
+        from repro.types import GeoDataset, Record, Schema
+        from repro.wan.topology import Site, WanTopology
+
+        topology = WanTopology.from_sites(
+            [
+                Site("a", 1000.0, 1000.0, compute_bps=1e9,
+                     machines=1, executors_per_machine=1),
+                Site("b", 1000.0, 1000.0, compute_bps=1e9,
+                     machines=1, executors_per_machine=1),
+            ]
+        )
+        schema = Schema.of("k", "v", kinds={"v": "numeric"})
+        dataset = GeoDataset("d", schema)
+        dataset.add_records(
+            "a", [Record((f"k{i % 2}", 1), size_bytes=1000) for i in range(6)]
+        )
+        engine = MapReduceEngine(topology, partition_records=2)
+        with instrument.instrumented() as obs:
+            with obs.tracer.span("query", stage="query") as query:
+                result = engine.run(dataset, MapReduceSpec.of([0], 1.0))
+                query.attrs["qct"] = result.qct
+        stages = {span.stage for span in obs.tracer.spans}
+        assert {"query", "map", "shuffle", "wan"} <= stages
+        map_spans = [s for s in obs.tracer.spans if s.stage == "map"]
+        assert map_spans
+        for span in map_spans:
+            assert span.parent_id == obs.tracer.find("query")[0].span_id
+            assert span.is_simulated
