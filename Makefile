@@ -1,0 +1,21 @@
+# Single entry points for the checks CI runs (see .github/workflows/ci.yml).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint determinism sanitize test check
+
+lint:  ## static analysis: rules R001-R006 over the shipped tree
+	$(PYTHON) -m repro.lint src/repro benchmarks
+
+determinism:  ## two-run same-seed trace-digest determinism smoke
+	$(PYTHON) -m repro.lint --determinism --queries 2
+
+sanitize:  ## end-to-end run with runtime invariant checks
+	$(PYTHON) -m repro run --scheme bohr --workload bigdata-aggregation \
+		--queries 2 --sanitize
+
+test:  ## tier-1 test suite
+	$(PYTHON) -m pytest -x -q
+
+check: lint determinism sanitize test  ## everything CI gates on

@@ -17,9 +17,17 @@ Results can be saved to JSON with ``--json`` and reloaded by
 
 ``run`` and ``compare`` take ``--trace FILE`` (JSONL span trace),
 ``--chrome-trace FILE`` (Chrome ``chrome://tracing`` / Perfetto
-trace-event format) and ``--metrics FILE`` (metrics snapshot JSON);
+trace-event format), ``--metrics FILE`` (metrics snapshot JSON) and
+``--sanitize`` (runtime invariant sanitizer: bytes conservation,
+sim-clock monotonicity, LP feasibility — non-zero exit on violation);
 ``inspect`` renders a saved JSONL trace as a per-stage latency
-breakdown and can convert it to the Chrome format.
+breakdown and can convert it to the Chrome format; ``lint`` runs the
+project's simulation-aware static analysis (rules R001–R006) and the
+two-run ``--determinism`` smoke::
+
+    python -m repro lint src/repro benchmarks
+    python -m repro lint --determinism
+    python -m repro run --scheme bohr --sanitize
 """
 
 from __future__ import annotations
@@ -95,6 +103,11 @@ def build_parser() -> argparse.ArgumentParser:
                          "chrome://tracing trace-event format")
         cmd.add_argument("--metrics", metavar="FILE",
                          help="write a metrics snapshot as JSON")
+        cmd.add_argument("--sanitize", action="store_true",
+                         help="check simulation invariants (bytes "
+                         "conservation, clock monotonicity, LP "
+                         "feasibility) during the run; exit 1 on any "
+                         "violation")
 
     inspect_cmd = commands.add_parser(
         "inspect", help="per-stage latency breakdown of a saved trace"
@@ -104,6 +117,15 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_cmd.add_argument("--chrome", metavar="FILE",
                              help="also convert the trace to Chrome "
                              "trace-event format")
+
+    from repro.lint.cli import add_lint_arguments
+
+    lint_cmd = commands.add_parser(
+        "lint",
+        help="simulation-aware static analysis (R001-R006) + "
+        "determinism smoke",
+    )
+    add_lint_arguments(lint_cmd)
     return parser
 
 
@@ -193,16 +215,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"\nChrome trace written to {args.chrome}")
         return 0
 
+    if args.command == "lint":
+        from repro.lint.cli import run_lint
+
+        return run_lint(args)
+
     if args.command == "run":
         schemes = [args.scheme]
     else:  # compare
         schemes = [s.strip() for s in args.schemes.split(",") if s.strip()]
 
     obs = None
-    if _wants_observability(args):
+    sanitizer = None
+    if args.sanitize or _wants_observability(args):
         from repro.obs import instrument
 
-        with instrument.instrumented() as obs:
+        if args.sanitize:
+            from repro.obs.sanitize import Sanitizer
+
+            sanitizer = Sanitizer(mode="collect")
+        with instrument.instrumented(sanitizer=sanitizer) as obs:
             results = [_experiment(scheme, args) for scheme in schemes]
     else:
         results = [_experiment(scheme, args) for scheme in schemes]
@@ -220,9 +252,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         save_results(results, args.json)
         print(f"\nresults written to {args.json}")
-    if obs is not None:
+    if obs is not None and _wants_observability(args):
         print()
         _export_observability(args, obs)
+    if sanitizer is not None:
+        print()
+        print(sanitizer.summary())
+        if sanitizer.violations:
+            return 1
     return 0
 
 

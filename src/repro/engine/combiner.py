@@ -53,7 +53,7 @@ class CombinedOutput:
     @property
     def combine_savings(self) -> float:
         """Fraction of map-output bytes eliminated by combining."""
-        if self.map_output_bytes == 0:
+        if self.map_output_bytes <= 0:
             return 0.0
         return 1.0 - self.total_bytes / self.map_output_bytes
 

@@ -55,7 +55,7 @@ class SiteMetrics:
     @property
     def combine_savings(self) -> float:
         """Fraction of map output removed by the combiner at this site."""
-        if self.map_output_bytes == 0:
+        if self.map_output_bytes <= 0:
             return 0.0
         return 1.0 - self.intermediate_bytes / self.map_output_bytes
 
@@ -216,6 +216,8 @@ class MapReduceEngine:
             job_result = JobResult(qct=qct, per_site=metrics, transfers=own)
             if collect_keys:
                 job_result.key_counts, job_result.key_bytes = job_key_counts[index]
+            if obs.sanitizer.enabled:
+                obs.sanitizer.check_job(job_result)
             if obs.tracer.enabled:
                 self._record_job_spans(obs.tracer, job_result)
             job_results.append(job_result)

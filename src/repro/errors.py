@@ -51,3 +51,11 @@ class WorkloadError(ReproError):
 
 class ObservabilityError(ReproError):
     """Raised on malformed spans, traces or metric operations."""
+
+
+class LintError(ReproError):
+    """Raised by the static-analysis pass (bad rule ids, unreadable files)."""
+
+
+class InvariantViolation(ReproError):
+    """Raised by the runtime sanitizer when a simulation invariant breaks."""

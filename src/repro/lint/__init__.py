@@ -1,0 +1,33 @@
+"""`repro.lint` — simulation-aware static analysis for this repository.
+
+An AST-based lint framework (visitor core, rule registry, per-line
+``# lint: allow[RULE]`` pragmas, text/JSON reporters) whose rule pack
+encodes the repo's determinism and correctness contract — no wall-clock
+reads in sim code (R001), seeded randomness only (R002), no unordered
+set iteration into order-sensitive constructs (R003), no float equality
+on sim quantities (R004), no mutable defaults (R005), no blanket
+excepts (R006).  See DESIGN.md "Determinism & invariants contract".
+
+Run it exactly as CI does::
+
+    python -m repro lint src/repro benchmarks
+    python -m repro.lint src/repro benchmarks    # equivalent
+"""
+
+from repro.lint.findings import Finding
+from repro.lint.registry import LintRule, all_rules, register, rules_for
+from repro.lint.report import render_json, render_text
+from repro.lint.runner import collect_files, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "all_rules",
+    "collect_files",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+    "rules_for",
+]

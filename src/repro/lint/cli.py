@@ -1,0 +1,105 @@
+"""CLI plumbing shared by ``repro lint`` and ``python -m repro.lint``.
+
+Both entry points run the exact same code path CI does, so a local
+``make lint`` (or ``python -m repro.lint src/repro benchmarks``)
+reproduces CI verdicts bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.errors import LintError
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (e.g. src/repro benchmarks)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--determinism",
+        action="store_true",
+        help="also run the two-run same-seed trace-digest determinism smoke",
+    )
+    parser.add_argument(
+        "--scheme",
+        default="bohr",
+        help="scheme for the determinism smoke (default: bohr)",
+    )
+    parser.add_argument(
+        "--workload",
+        default="bigdata-aggregation",
+        help="workload for the determinism smoke",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=11, help="seed for the determinism smoke"
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=2,
+        help="queries per run in the determinism smoke (default: 2)",
+    )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute the lint pass (and optional determinism smoke); 0 if clean."""
+    from repro.lint.report import render_json, render_text
+    from repro.lint.runner import lint_paths
+
+    if not args.paths and not args.determinism:
+        raise LintError("nothing to do: give PATH arguments or --determinism")
+
+    select: Optional[List[str]] = None
+    if args.select:
+        select = [token.strip() for token in args.select.split(",") if token.strip()]
+
+    exit_code = 0
+    if args.paths:
+        findings, files_checked = lint_paths(args.paths, select=select)
+        renderer = render_json if args.format == "json" else render_text
+        print(renderer(findings, files_checked))
+        if findings:
+            exit_code = 1
+
+    if args.determinism:
+        from repro.lint.determinism import run_determinism_check
+
+        report = run_determinism_check(
+            scheme=args.scheme,
+            workload=args.workload,
+            seed=args.seed,
+            queries=args.queries,
+        )
+        if args.paths:
+            print()
+        print(report.render())
+        if not report.deterministic:
+            exit_code = 1
+    return exit_code
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="Simulation-aware static analysis + determinism smoke "
+        "for the Bohr reproduction (rules R001-R006; see DESIGN.md).",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))

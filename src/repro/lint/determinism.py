@@ -1,0 +1,168 @@
+"""Two-run same-seed determinism smoke (``repro lint --determinism``).
+
+Runs the same experiment twice with identical seeds, each under a fresh
+tracer, and compares a digest of the *simulated* trace content plus a
+digest of the reported numbers.  Wall-clock fields (span wall times, the
+measured offline-prep costs) legitimately differ between runs and are
+excluded; everything else — span structure, sim-clock intervals, byte
+counts, similarities, placement fractions — must be byte-identical, or
+the simulator has nondeterministic state (the WANify failure mode: a
+silently drifting simulator corrupts every seed-controlled comparison).
+
+``charge_rdd_overhead`` is forced off for the check: the paper's RDD
+overhead is a *measured wall time* charged to QCT, so with it on, QCT is
+wall-coupled by design and two runs differ in the last decimals.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.obs.span import Span
+
+#: Span attributes carrying measured wall time (excluded from digests).
+_WALL_ATTRS = frozenset(
+    {"wall_seconds", "rdd_overhead_seconds", "overhead_seconds"}
+)
+
+#: Significant digits kept when digesting floats; identical computations
+#: produce bit-identical floats, so this only guards repr formatting.
+_FLOAT_DIGITS = 12
+
+
+def _canonical(value: object) -> object:
+    if isinstance(value, float):
+        return f"{value:.{_FLOAT_DIGITS}e}"
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in sorted(
+            value.items(), key=lambda pair: str(pair[0])
+        )}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    return value
+
+
+def trace_digest(spans: Sequence[Span]) -> str:
+    """SHA-256 over the sim-relevant content of a span list, in order."""
+    payload: List[object] = []
+    for span in spans:
+        attrs = {
+            key: _canonical(value)
+            for key, value in sorted(span.attrs.items())
+            if key not in _WALL_ATTRS
+        }
+        payload.append(
+            [
+                span.name,
+                span.stage,
+                span.parent_id,
+                _canonical(span.sim_start) if span.sim_start is not None else None,
+                _canonical(span.sim_end) if span.sim_end is not None else None,
+                attrs,
+            ]
+        )
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def result_digest(results: Iterable) -> str:
+    """SHA-256 over the reported numbers of ``ExperimentResult`` objects."""
+    payload: List[object] = []
+    for result in results:
+        payload.append(
+            [
+                result.system,
+                result.workload,
+                _canonical(result.mean_qct),
+                _canonical(result.baseline_mean_qct),
+                _canonical(result.prep.moved_bytes),
+                _canonical(dict(result.prep.reduce_fractions)),
+                _canonical(result.intermediate_by_site()),
+                [_canonical(run.wan_bytes) for run in result.runs],
+            ]
+        )
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class DeterminismReport:
+    """Outcome of the two-run comparison."""
+
+    deterministic: bool
+    trace_digests: Tuple[str, str]
+    result_digests: Tuple[str, str]
+    spans: int
+    scheme: str
+    workload: str
+    seed: int
+
+    def render(self) -> str:
+        verdict = "DETERMINISTIC" if self.deterministic else "NON-DETERMINISTIC"
+        lines = [
+            f"{verdict}: {self.scheme} on {self.workload} "
+            f"(seed {self.seed}, {self.spans} spans/run)",
+            f"  trace digests:  {self.trace_digests[0][:16]}… vs "
+            f"{self.trace_digests[1][:16]}…",
+            f"  result digests: {self.result_digests[0][:16]}… vs "
+            f"{self.result_digests[1][:16]}…",
+        ]
+        return "\n".join(lines)
+
+
+def run_determinism_check(
+    scheme: str = "bohr",
+    workload: str = "bigdata-aggregation",
+    placement: str = "random",
+    seed: int = 11,
+    queries: int = 2,
+    scale: float = 1.0,
+    base_uplink: str = "2MB/s",
+) -> DeterminismReport:
+    """Execute the experiment twice and compare sim-content digests."""
+    from repro.core.runner import run_experiment
+    from repro.obs import instrument
+    from repro.systems.base import SystemConfig
+    from repro.wan.presets import ec2_ten_sites
+    from repro.workloads import build_workload
+
+    digests: List[Tuple[str, str, int]] = []
+    for _ in range(2):
+        topology = ec2_ten_sites(base_uplink=base_uplink)
+        config = SystemConfig(
+            lag_seconds=8.0,
+            seed=seed,
+            partition_records=8,
+            charge_rdd_overhead=False,  # wall-measured; excluded by design
+        )
+
+        def factory():
+            return build_workload(
+                workload, topology, placement=placement, seed=seed, scale=scale
+            )
+
+        with instrument.instrumented() as obs:
+            result = run_experiment(
+                scheme, factory, topology, config, query_limit=queries
+            )
+        digests.append(
+            (
+                trace_digest(obs.tracer.spans),
+                result_digest([result]),
+                len(obs.tracer.spans),
+            )
+        )
+
+    (trace_a, result_a, spans_a), (trace_b, result_b, _spans_b) = digests
+    return DeterminismReport(
+        deterministic=(trace_a == trace_b and result_a == result_b),
+        trace_digests=(trace_a, trace_b),
+        result_digests=(result_a, result_b),
+        spans=spans_a,
+        scheme=scheme,
+        workload=workload,
+        seed=seed,
+    )

@@ -1,0 +1,351 @@
+"""The determinism/correctness rule pack (R001–R006).
+
+Each rule encodes one clause of the repo's simulation contract (see
+DESIGN.md "Determinism & invariants contract"):
+
+* **R001** — no wall-clock reads in simulation code.  The simulator runs
+  on its own clock; ``time.time``/``perf_counter``/``monotonic`` and
+  ``datetime.now`` silently couple results to the host machine.  The
+  intentional offline-prep timing sites (Tables 3–5 of the paper) carry
+  ``# lint: allow[R001]`` pragmas.
+* **R002** — no raw ``random`` module (or legacy global-state
+  ``numpy.random.*``) use; all randomness flows through
+  :mod:`repro.util.rng` so streams are seed-derived and independent.
+* **R003** — no iteration over unordered set expressions feeding
+  order-sensitive constructs (float accumulation, list building,
+  hashing) without ``sorted(...)``; set iteration order varies with the
+  process hash seed.
+* **R004** — no float ``==``/``!=`` on sim-time/bytes quantities;
+  accumulated floats differ in the last ulp across orderings.
+* **R005** — no mutable default arguments (shared across calls).
+* **R006** — no bare or blanket ``except`` (swallows the typed
+  :class:`~repro.errors.ReproError` hierarchy and real bugs alike).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.lint.registry import LintRule, register
+from repro.lint.visitor import LintContext
+
+_CheckResult = Iterator[Tuple[ast.AST, str]]
+
+
+# ----------------------------------------------------------------------
+# R001 — wall-clock reads
+# ----------------------------------------------------------------------
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(LintRule):
+    rule_id = "R001"
+    title = "wall-clock read in simulation code"
+    node_types = (ast.Attribute, ast.Name)
+
+    def check(self, node: ast.AST, context: LintContext) -> _CheckResult:
+        # Only the outermost attribute of a chain carries the full name;
+        # inner attributes resolve to prefixes and never match.
+        parent = context.parent(node)
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            return
+        if isinstance(node, ast.Name) and node.id in context.import_aliases:
+            name = context.import_aliases[node.id]
+        elif isinstance(node, ast.Attribute):
+            name = context.qualified_name(node) or ""
+        else:
+            return
+        if name in _WALL_CLOCK_CALLS:
+            yield node, (
+                f"wall-clock read {name}() — simulation code must use the "
+                "sim clock; pragma intentional offline-prep timing sites"
+            )
+
+
+# ----------------------------------------------------------------------
+# R002 — raw randomness
+# ----------------------------------------------------------------------
+
+_NUMPY_GLOBAL_RNG = frozenset(
+    {
+        "seed",
+        "random",
+        "rand",
+        "randn",
+        "randint",
+        "random_sample",
+        "random_integers",
+        "choice",
+        "shuffle",
+        "permutation",
+        "normal",
+        "uniform",
+        "get_state",
+        "set_state",
+    }
+)
+
+
+@register
+class RawRandomRule(LintRule):
+    rule_id = "R002"
+    title = "raw random module use"
+    node_types = (ast.Import, ast.ImportFrom, ast.Attribute, ast.Name)
+
+    def check(self, node: ast.AST, context: LintContext) -> _CheckResult:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield node, self._message(alias.name)
+            return
+        if isinstance(node, ast.ImportFrom):
+            if node.level == 0 and node.module == "random":
+                yield node, self._message("random")
+            return
+        parent = context.parent(node)
+        if isinstance(parent, ast.Attribute) and parent.value is node:
+            return
+        if isinstance(node, ast.Name):
+            name = context.import_aliases.get(node.id, "")
+        else:
+            name = context.qualified_name(node) or ""
+        if name.startswith("random."):
+            yield node, self._message(name)
+        elif name.startswith("numpy.random."):
+            terminal = name.rsplit(".", 1)[1]
+            if terminal in _NUMPY_GLOBAL_RNG:
+                yield node, (
+                    f"global-state {name} — derive a seeded generator via "
+                    "repro.util.rng.derive_rng instead"
+                )
+
+    @staticmethod
+    def _message(name: str) -> str:
+        return (
+            f"stdlib {name} is seeded process-globally — route randomness "
+            "through repro.util.rng (derive_rng/spawn_seeds)"
+        )
+
+
+# ----------------------------------------------------------------------
+# R003 — unordered iteration feeding order-sensitive constructs
+# ----------------------------------------------------------------------
+
+#: Builtins whose result is insensitive to argument iteration order
+#: (``sum`` is NOT here: float addition is not associative).
+_ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {"sorted", "set", "frozenset", "min", "max", "any", "all", "len"}
+)
+
+#: Callables that materialize or depend on their argument's order.
+_ORDER_SENSITIVE_CONSUMERS = frozenset({"list", "tuple", "enumerate", "sum"})
+
+_R003_HINT = "iteration order follows the hash seed; wrap in sorted(...)"
+
+
+@register
+class UnorderedIterationRule(LintRule):
+    rule_id = "R003"
+    title = "unordered set iteration feeding an order-sensitive construct"
+    node_types = (ast.For, ast.ListComp, ast.GeneratorExp, ast.Call)
+
+    def check(self, node: ast.AST, context: LintContext) -> _CheckResult:
+        if isinstance(node, ast.For):
+            if context.is_set_expr(node.iter) and self._accumulates(node):
+                yield node.iter, (
+                    "loop over an unordered set accumulates/appends — "
+                    + _R003_HINT
+                )
+            return
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            parent = context.parent(node)
+            if isinstance(parent, ast.Call) and node in parent.args:
+                name = context.qualified_name(parent.func)
+                if name in _ORDER_INSENSITIVE_CONSUMERS:
+                    return
+            for generator in node.generators:
+                if context.is_set_expr(generator.iter):
+                    yield generator.iter, (
+                        "comprehension materializes an unordered set in "
+                        "arbitrary order — " + _R003_HINT
+                    )
+            return
+        # Call: order-sensitive builtins fed a set expression directly.
+        assert isinstance(node, ast.Call)
+        name = context.qualified_name(node.func)
+        is_join = (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+        )
+        if name not in _ORDER_SENSITIVE_CONSUMERS and not is_join:
+            return
+        for arg in node.args[:1]:
+            if context.is_set_expr(arg):
+                consumer = name or "str.join"
+                yield arg, (
+                    f"{consumer}() over an unordered set fixes an arbitrary "
+                    "order — " + _R003_HINT
+                )
+
+    @staticmethod
+    def _accumulates(loop: ast.For) -> bool:
+        """True when the loop body accumulates floats or builds sequences."""
+        for node in ast.walk(loop):
+            if isinstance(node, ast.AugAssign):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "extend", "insert")
+            ):
+                return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# R004 — float equality on sim-time/bytes quantities
+# ----------------------------------------------------------------------
+
+#: Underscore-separated identifier tokens that mark a sim-time/bytes
+#: quantity ("map_output_bytes", "start_time", ...).  Token-wise matching
+#: keeps "strategy" (contains "rate") and friends out.
+_QUANTITY_TOKENS = frozenset(
+    {"seconds", "time", "bytes", "qct", "bps", "rate", "makespan",
+     "duration", "epoch", "deadline", "lag"}
+)
+
+
+def _is_quantity_name(name: str) -> bool:
+    return any(token in _QUANTITY_TOKENS for token in name.lower().split("_"))
+
+
+@register
+class FloatEqualityRule(LintRule):
+    rule_id = "R004"
+    title = "float equality on a sim-time/bytes quantity"
+    node_types = (ast.Compare,)
+
+    def check(self, node: ast.AST, context: LintContext) -> _CheckResult:
+        assert isinstance(node, ast.Compare)
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left] + list(node.comparators)
+        for operand in operands:
+            if isinstance(operand, ast.Constant) and isinstance(
+                operand.value, float
+            ):
+                yield node, (
+                    "exact float comparison — accumulated floats differ in "
+                    "the last ulp; compare with a tolerance or restructure"
+                )
+                return
+        for operand in operands:
+            name = self._terminal_name(operand)
+            if name and _is_quantity_name(name):
+                yield node, (
+                    f"float ==/!= on quantity {name!r} — compare with a "
+                    "tolerance (or <=/>= against the bound)"
+                )
+                return
+
+    @staticmethod
+    def _terminal_name(node: ast.AST) -> str:
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return ""
+
+
+# ----------------------------------------------------------------------
+# R005 — mutable default arguments
+# ----------------------------------------------------------------------
+
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "collections.defaultdict",
+     "collections.OrderedDict", "collections.deque"}
+)
+
+
+@register
+class MutableDefaultRule(LintRule):
+    rule_id = "R005"
+    title = "mutable default argument"
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def check(self, node: ast.AST, context: LintContext) -> _CheckResult:
+        args = node.args
+        defaults = list(args.defaults) + [
+            default for default in args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if isinstance(
+                default,
+                (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                 ast.SetComp),
+            ):
+                yield default, (
+                    "mutable default is shared across calls — default to "
+                    "None and create inside the function"
+                )
+            elif isinstance(default, ast.Call):
+                name = context.qualified_name(default.func)
+                if name in _MUTABLE_FACTORIES:
+                    yield default, (
+                        f"default {name}() is evaluated once and shared "
+                        "across calls — default to None instead"
+                    )
+
+
+# ----------------------------------------------------------------------
+# R006 — bare or blanket except
+# ----------------------------------------------------------------------
+
+
+@register
+class BlanketExceptRule(LintRule):
+    rule_id = "R006"
+    title = "bare or blanket except"
+    node_types = (ast.ExceptHandler,)
+
+    def check(self, node: ast.AST, context: LintContext) -> _CheckResult:
+        assert isinstance(node, ast.ExceptHandler)
+        if node.type is None:
+            yield node, (
+                "bare except catches SystemExit/KeyboardInterrupt too — "
+                "catch a ReproError subclass (or at least Exception + re-raise)"
+            )
+            return
+        for exc in self._exception_names(node.type, context):
+            if exc in ("Exception", "BaseException"):
+                yield node, (
+                    f"blanket except {exc} swallows unrelated bugs — catch "
+                    "the narrowest ReproError subclass that applies"
+                )
+                return
+
+    @staticmethod
+    def _exception_names(node: ast.AST, context: LintContext):
+        nodes = node.elts if isinstance(node, ast.Tuple) else [node]
+        for item in nodes:
+            name = context.qualified_name(item)
+            if name:
+                yield name

@@ -14,6 +14,9 @@ first-class, machine-readable artifact instead of a post-hoc guess:
   trace-event export, with JSONL round-trip loading;
 * :mod:`repro.obs.instrument` — the process-wide instrumentation slot;
   the default is a no-op, so uninstrumented runs pay ~zero cost;
+* :mod:`repro.obs.sanitize` — the runtime invariant sanitizer (bytes
+  conservation, sim-clock monotonicity, LP feasibility) behind the CLI
+  ``--sanitize`` flag;
 * :mod:`repro.obs.inspect` — per-stage latency breakdown of a saved
   trace (the ``python -m repro inspect`` command).
 """
@@ -32,6 +35,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetrics,
 )
+from repro.obs.sanitize import NULL_SANITIZER, NullSanitizer, Sanitizer
 from repro.obs.span import Span
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -43,9 +47,12 @@ __all__ = [
     "MetricsRegistry",
     "NULL_INSTRUMENTATION",
     "NULL_METRICS",
+    "NULL_SANITIZER",
     "NULL_TRACER",
     "NullMetrics",
+    "NullSanitizer",
     "NullTracer",
+    "Sanitizer",
     "Span",
     "Tracer",
     "current",

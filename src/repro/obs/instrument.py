@@ -33,21 +33,27 @@ from dataclasses import dataclass, field
 from typing import Iterator, Optional, Union
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.sanitize import NULL_SANITIZER, NullSanitizer, Sanitizer
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 
 @dataclass
 class Instrumentation:
-    """A tracer/metrics pair handed to instrumented call sites."""
+    """A tracer/metrics/sanitizer triple handed to instrumented call sites."""
 
     tracer: Union[Tracer, NullTracer] = field(default_factory=lambda: NULL_TRACER)
     metrics: Union[MetricsRegistry, NullMetrics] = field(
         default_factory=lambda: NULL_METRICS
     )
+    sanitizer: Union[Sanitizer, NullSanitizer] = field(
+        default_factory=lambda: NULL_SANITIZER
+    )
 
     @property
     def enabled(self) -> bool:
-        return self.tracer.enabled or self.metrics.enabled
+        return (
+            self.tracer.enabled or self.metrics.enabled or self.sanitizer.enabled
+        )
 
 
 NULL_INSTRUMENTATION = Instrumentation()
@@ -71,16 +77,18 @@ def install(instrumentation: Optional[Instrumentation] = None) -> Instrumentatio
 def instrumented(
     tracer: Optional[Union[Tracer, NullTracer]] = None,
     metrics: Optional[Union[MetricsRegistry, NullMetrics]] = None,
+    sanitizer: Optional[Union[Sanitizer, NullSanitizer]] = None,
 ) -> Iterator[Instrumentation]:
     """Activate live collection for a region, restoring the prior slot.
 
     With no arguments, a fresh :class:`Tracer` and
-    :class:`MetricsRegistry` are created; pass explicit instances (or the
-    null twins) to share or suppress either half.
+    :class:`MetricsRegistry` are created (the sanitizer stays off); pass
+    explicit instances (or the null twins) to share or suppress any part.
     """
     instrumentation = Instrumentation(
         tracer=tracer if tracer is not None else Tracer(),
         metrics=metrics if metrics is not None else MetricsRegistry(),
+        sanitizer=sanitizer if sanitizer is not None else NULL_SANITIZER,
     )
     previous = current()
     install(instrumentation)

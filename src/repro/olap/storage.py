@@ -66,7 +66,7 @@ class StorageReport:
         Iridium reads raw data; cube-based schemes read cubes (+ similarity
         metadata for Bohr), each inflated by OLAP working space.
         """
-        if self.cube_bytes == 0:
+        if self.cube_bytes <= 0:
             base = self.raw_bytes
         else:
             base = self.cube_bytes + self.similarity_bytes

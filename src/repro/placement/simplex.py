@@ -114,7 +114,7 @@ def simplex_solve(
     # A slack column can start basic if its coefficient stayed +1.
     for position, row in enumerate(slack_rows):
         column = num_vars + position
-        if tableau_a[row, column] == 1.0:
+        if tableau_a[row, column] == 1.0:  # lint: allow[R004] — exact structural test on the just-built tableau
             basis[row] = column
 
     artificial_rows = [row for row in range(num_rows) if basis[row] == -1]

@@ -32,12 +32,15 @@ def weighted_jaccard(left: Mapping[Key, float], right: Mapping[Key, float]) -> f
         return 1.0
     numerator = 0.0
     denominator = 0.0
-    for key in set(left) | set(right):
+    # Sorted union: float accumulation order must not depend on the
+    # process hash seed (keys may be any homogeneous Key type, so sort
+    # on repr).
+    for key in sorted(set(left) | set(right), key=repr):
         weight_left = left.get(key, 0.0)
         weight_right = right.get(key, 0.0)
         numerator += min(weight_left, weight_right)
         denominator += max(weight_left, weight_right)
-    if denominator == 0.0:
+    if denominator <= 0.0:
         return 1.0
     return numerator / denominator
 
@@ -58,7 +61,7 @@ def cosine_similarity(left: Sequence[float], right: Sequence[float]) -> float:
             f"vector shapes differ: {left_arr.shape} vs {right_arr.shape}"
         )
     norm = float(np.linalg.norm(left_arr) * np.linalg.norm(right_arr))
-    if norm == 0.0:
+    if norm <= 0.0:
         return 0.0
     return float(np.dot(left_arr, right_arr) / norm)
 

@@ -68,8 +68,15 @@ class MinHasher:
         The signature of an empty set is all ``_MAX_HASH`` sentinel values,
         which never collide with real hashes.
         """
+        # Sorted items: the min over permuted hashes is order-independent,
+        # but fixing the array layout keeps signatures byte-identical
+        # across Python hash-seed and version changes.
         hashes = np.array(
-            [_stable_hash(item) & _MAX_HASH for item in set(items)], dtype=np.uint64
+            [
+                _stable_hash(item) & _MAX_HASH
+                for item in sorted(set(items), key=repr)
+            ],
+            dtype=np.uint64,
         )
         if hashes.size == 0:
             return MinHashSignature(tuple([_MAX_HASH + 1] * self.num_hashes))

@@ -138,6 +138,7 @@ class TransferScheduler:
     ) -> Tuple[List[TransferResult], int]:
         """The event loop; returns results plus progressive-filling rounds."""
         self._check_sites(transfers)
+        sanitizer = instrument.current().sanitizer
         counter = itertools.count()
         flows = [
             _Flow(flow_id=next(counter), transfer=transfer, remaining=transfer.num_bytes)
@@ -150,6 +151,7 @@ class TransferScheduler:
         active: List[_Flow] = []
         finish_times: Dict[int, float] = {}
         now = 0.0
+        last_now = 0.0
         filling_rounds = 0
 
         while pending or active:
@@ -180,6 +182,9 @@ class TransferScheduler:
             for flow in active:
                 flow.remaining -= flow.rate * horizon
             now += horizon
+            if sanitizer.enabled:
+                sanitizer.check_clock(last_now, now, where="wan-filling")
+            last_now = now
 
             still_active: List[_Flow] = []
             for flow in active:

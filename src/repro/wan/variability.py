@@ -34,7 +34,7 @@ class BandwidthProfile:
     def __post_init__(self) -> None:
         if not self.epochs:
             raise TopologyError("profile needs at least one epoch")
-        if self.epochs[0][0] != 0.0:
+        if self.epochs[0][0] != 0.0:  # lint: allow[R004] — exact zero-start contract on the user-supplied schedule
             raise TopologyError("first epoch must start at time 0")
         previous = -math.inf
         for start, multiplier in self.epochs:

@@ -1,0 +1,152 @@
+"""Framework-level tests: registry, findings, reporters, driver, CLI, meta."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    all_rules,
+    collect_files,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+    rules_for,
+)
+from repro.lint.findings import Finding
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        ids = sorted(rule.rule_id for rule in all_rules())
+        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+
+    def test_rules_for_none_returns_all(self):
+        assert len(rules_for(None)) == len(all_rules())
+
+    def test_rules_for_unknown_id_raises(self):
+        with pytest.raises(LintError):
+            rules_for(["R999"])
+
+    def test_rules_have_titles_and_node_types(self):
+        for rule in all_rules():
+            assert rule.title
+            assert rule.node_types
+
+
+class TestFinding:
+    def test_render_is_clickable_location(self):
+        finding = Finding(path="a.py", line=3, col=4, rule_id="R004",
+                          message="exact float comparison")
+        assert finding.render() == "a.py:3:4: R004 exact float comparison"
+
+    def test_sort_order_is_by_location(self):
+        early = Finding(path="a.py", line=1, col=0, rule_id="R006", message="m")
+        late = Finding(path="a.py", line=9, col=0, rule_id="R001", message="m")
+        assert sorted([late, early]) == [early, late]
+
+    def test_to_dict_round_trips_fields(self):
+        finding = Finding(path="a.py", line=3, col=4, rule_id="R004", message="m")
+        assert finding.to_dict() == {
+            "path": "a.py", "line": 3, "col": 4, "rule_id": "R004",
+            "message": "m",
+        }
+
+
+class TestReporters:
+    def _findings(self):
+        return lint_source("import random\nimport random\n", path="bad.py")
+
+    def test_text_report_counts_by_rule(self):
+        text = render_text(self._findings(), files_checked=1)
+        assert "bad.py:1:" in text
+        assert "R002×2" in text
+        assert "2 findings" in text
+
+    def test_text_report_clean(self):
+        assert render_text([], files_checked=7) == "clean: 0 findings in 7 files"
+
+    def test_json_report_is_parseable_and_stable(self):
+        payload = json.loads(render_json(self._findings(), files_checked=1))
+        assert payload["files_checked"] == 1
+        assert [f["rule_id"] for f in payload["findings"]] == ["R002", "R002"]
+
+
+class TestDriver:
+    def test_collect_files_skips_pycache(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "ok.cpython-311.py").write_text("x = 1\n")
+        assert collect_files([str(tmp_path)]) == [str(tmp_path / "ok.py")]
+
+    def test_collect_files_missing_path_raises(self):
+        with pytest.raises(LintError):
+            collect_files(["/no/such/dir"])
+
+    def test_lint_paths_reports_findings_with_real_paths(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        findings, files_checked = lint_paths([str(tmp_path)])
+        assert files_checked == 1
+        assert findings[0].path == str(bad)
+        assert findings[0].rule_id == "R002"
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main([str(tmp_path)]) == 1
+        assert "R002" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        (tmp_path / "bad.py").write_text("import random\n")
+        assert main(["--format", "json", str(tmp_path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule_id"] == "R002"
+
+    def test_no_paths_no_determinism_raises(self):
+        from repro.lint.cli import main
+
+        with pytest.raises(LintError):
+            main([])
+
+    def test_repro_cli_exposes_lint_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+class TestMetaSelfLint:
+    """The shipped tree must satisfy its own linter (CI gate)."""
+
+    def test_src_repro_is_clean(self):
+        findings, files_checked = lint_paths(
+            [os.path.join(REPO_ROOT, "src", "repro")]
+        )
+        assert files_checked > 50
+        assert findings == []
+
+    def test_benchmarks_are_clean(self):
+        bench_dir = os.path.join(REPO_ROOT, "benchmarks")
+        if not os.path.isdir(bench_dir):
+            pytest.skip("no benchmarks directory")
+        findings, _ = lint_paths([bench_dir])
+        assert findings == []

@@ -1,0 +1,53 @@
+"""Pragma parsing and per-line suppression."""
+
+from repro.lint import lint_source
+from repro.lint.pragmas import is_suppressed, parse_pragmas
+
+
+class TestParsePragmas:
+    def test_single_rule(self):
+        pragmas = parse_pragmas("x = 1  # lint: allow[R001]\n")
+        assert pragmas == {1: frozenset({"R001"})}
+
+    def test_multiple_rules_one_line(self):
+        pragmas = parse_pragmas("x = 1  # lint: allow[R001, R004]\n")
+        assert pragmas[1] == frozenset({"R001", "R004"})
+
+    def test_wildcard(self):
+        pragmas = parse_pragmas("x = 1  # lint: allow[*]\n")
+        assert is_suppressed(pragmas, 1, "R999")
+
+    def test_lines_are_one_based(self):
+        pragmas = parse_pragmas("a = 1\nb = 2  # lint: allow[R002]\n")
+        assert list(pragmas) == [2]
+
+    def test_trailing_prose_allowed(self):
+        pragmas = parse_pragmas(
+            "x = t.time()  # lint: allow[R001] — offline prep cost\n"
+        )
+        assert is_suppressed(pragmas, 1, "R001")
+
+    def test_plain_comment_is_not_a_pragma(self):
+        assert parse_pragmas("x = 1  # allow anything here\n") == {}
+
+
+class TestSuppression:
+    def test_pragma_silences_finding_on_its_line(self):
+        source = "import time\nt = time.time()  # lint: allow[R001]\n"
+        assert lint_source(source) == []
+
+    def test_pragma_for_other_rule_does_not_silence(self):
+        source = "import time\nt = time.time()  # lint: allow[R002]\n"
+        assert [f.rule_id for f in lint_source(source)] == ["R001"]
+
+    def test_pragma_on_other_line_does_not_silence(self):
+        source = (
+            "import time\n"
+            "# lint: allow[R001]\n"
+            "t = time.time()\n"
+        )
+        assert [f.rule_id for f in lint_source(source)] == ["R001"]
+
+    def test_wildcard_silences_everything_on_line(self):
+        source = "import random  # lint: allow[*]\nimport time\n"
+        assert lint_source(source) == []

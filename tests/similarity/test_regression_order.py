@@ -1,0 +1,75 @@
+"""Regression pins for the R003 ordering fixes (lint rule R003).
+
+``weighted_jaccard`` and ``MinHasher.signature`` used to iterate raw set
+unions, so their float accumulation (and array layout) depended on the
+interpreter's hash seed.  Both now iterate ``sorted(..., key=repr)``;
+these tests pin exact output values so any future reordering (or an
+accidental revert to raw set iteration) shows up as a value change, not
+just a lint finding.
+"""
+
+import pytest
+
+from repro.similarity.metrics import weighted_jaccard
+from repro.similarity.minhash import MinHasher
+
+LEFT = {("us", 1): 3.0, ("eu", 2): 1.5, ("ap", 3): 0.5}
+RIGHT = {("eu", 2): 2.5, ("ap", 3): 0.5, ("sa", 4): 1.0}
+
+#: min-sum 2.0 over max-sum 7.0 — exact because the operands are exact.
+PINNED_WEIGHTED_JACCARD = 0.2857142857142857
+
+PINNED_SIGNATURE = (
+    1607673284, 630365694, 604797591, 336403867,
+    1627629006, 130382420, 744213717, 1114254616,
+)
+
+
+class TestWeightedJaccardPin:
+    def test_exact_pinned_value(self):
+        assert weighted_jaccard(LEFT, RIGHT) == pytest.approx(
+            PINNED_WEIGHTED_JACCARD, abs=0.0
+        )
+
+    def test_insertion_order_does_not_matter(self):
+        left_reversed = dict(reversed(list(LEFT.items())))
+        right_reversed = dict(reversed(list(RIGHT.items())))
+        assert weighted_jaccard(left_reversed, right_reversed) == weighted_jaccard(
+            LEFT, RIGHT
+        )
+
+    def test_many_keys_stable_accumulation(self):
+        # Enough float keys that a different summation order would show
+        # up in the last ulp; pinned by symmetry instead of a literal.
+        left = {("k", i): 0.1 * (i + 1) for i in range(50)}
+        right = {("k", i): 0.1 * (50 - i) for i in range(50)}
+        forward = weighted_jaccard(left, right)
+        backward = weighted_jaccard(
+            dict(reversed(list(left.items()))),
+            dict(reversed(list(right.items()))),
+        )
+        assert forward == backward
+
+
+class TestMinHashSignaturePin:
+    def test_exact_pinned_signature(self):
+        hasher = MinHasher(num_hashes=8, seed=7)
+        signature = hasher.signature(["alpha", "beta", "gamma", "delta"])
+        assert signature.values == PINNED_SIGNATURE
+
+    def test_item_order_does_not_matter(self):
+        hasher = MinHasher(num_hashes=8, seed=7)
+        items = ["alpha", "beta", "gamma", "delta"]
+        assert hasher.signature(reversed(items)).values == PINNED_SIGNATURE
+        assert hasher.signature(set(items)).values == PINNED_SIGNATURE
+
+    def test_duplicates_collapse(self):
+        hasher = MinHasher(num_hashes=8, seed=7)
+        assert hasher.signature(
+            ["alpha", "alpha", "beta", "gamma", "delta", "delta"]
+        ).values == PINNED_SIGNATURE
+
+    def test_seed_changes_signature(self):
+        items = ["alpha", "beta", "gamma", "delta"]
+        other = MinHasher(num_hashes=8, seed=8).signature(items)
+        assert other.values != PINNED_SIGNATURE
