@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint determinism sanitize test check
+.PHONY: lint determinism sanitize chaos test check
 
 lint:  ## static analysis: rules R001-R006 over the shipped tree
 	$(PYTHON) -m repro.lint src/repro benchmarks
@@ -15,7 +15,12 @@ sanitize:  ## end-to-end run with runtime invariant checks
 	$(PYTHON) -m repro run --scheme bohr --workload bigdata-aggregation \
 		--queries 2 --sanitize
 
+chaos:  ## fault-injected run (sanitized) + chaos determinism smoke
+	$(PYTHON) -m repro run --scheme bohr --workload bigdata-aggregation \
+		--queries 2 --chaos flaky-wan --sanitize
+	$(PYTHON) -m repro.lint --determinism --queries 2 --chaos havoc
+
 test:  ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
 
-check: lint determinism sanitize test  ## everything CI gates on
+check: lint determinism sanitize chaos test  ## everything CI gates on

@@ -1,0 +1,32 @@
+"""Deterministic fault injection and the failure-aware runtime.
+
+``repro.chaos`` is the standard harness for every robustness claim: a
+seed-derived :class:`~repro.chaos.schedule.FaultSchedule` describes link
+degradations, blackouts, whole-site outages, stragglers and transfer
+stalls; the WAN simulator and engine consume it during simulation, and
+:mod:`repro.chaos.runtime` supplies the retry/backoff policy and the
+:class:`~repro.chaos.runtime.ChaosConfig` bundle the controller runs
+under.  Same seed, same faults, same results — chaos runs are as
+deterministic as benign ones.
+"""
+
+from repro.chaos.profiles import CHAOS_PROFILES, build_schedule
+from repro.chaos.runtime import (
+    ChaosConfig,
+    RetryOutcome,
+    RetryPolicy,
+    simulate_with_retries,
+)
+from repro.chaos.schedule import FaultEvent, FaultSchedule, merge_schedules
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "ChaosConfig",
+    "FaultEvent",
+    "FaultSchedule",
+    "RetryOutcome",
+    "RetryPolicy",
+    "build_schedule",
+    "merge_schedules",
+    "simulate_with_retries",
+]

@@ -23,11 +23,16 @@ sim-clock monotonicity, LP feasibility — non-zero exit on violation);
 ``inspect`` renders a saved JSONL trace as a per-stage latency
 breakdown and can convert it to the Chrome format; ``lint`` runs the
 project's simulation-aware static analysis (rules R001–R006) and the
-two-run ``--determinism`` smoke::
+two-run ``--determinism`` smoke.  ``--chaos PROFILE`` (with
+``--chaos-seed``) injects a deterministic fault schedule — degraded and
+blacked-out links, site outages, stragglers, lost task waves — and runs
+the scheme on the failure-aware runtime (retries with exponential
+backoff, degraded replanning, partial results)::
 
     python -m repro lint src/repro benchmarks
     python -m repro lint --determinism
     python -m repro run --scheme bohr --sanitize
+    python -m repro run --scheme bohr --chaos flaky-wan --sanitize
 """
 
 from __future__ import annotations
@@ -36,6 +41,7 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.chaos.profiles import CHAOS_PROFILES
 from repro.core.report import render_qct_table, render_reduction_table
 from repro.core.runner import ExperimentResult, run_experiment
 from repro.systems.base import SystemConfig
@@ -108,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "conservation, clock monotonicity, LP "
                          "feasibility) during the run; exit 1 on any "
                          "violation")
+        cmd.add_argument("--chaos", metavar="PROFILE", default=None,
+                         choices=CHAOS_PROFILES,
+                         help="inject a deterministic fault schedule "
+                         f"({', '.join(CHAOS_PROFILES)}) and run the "
+                         "scheme on the failure-aware runtime")
+        cmd.add_argument("--chaos-seed", type=int, default=13,
+                         help="seed deriving the fault schedule "
+                         "(same seed => identical faults)")
 
     inspect_cmd = commands.add_parser(
         "inspect", help="per-stage latency breakdown of a saved trace"
@@ -137,6 +151,14 @@ def _experiment(scheme: str, args: argparse.Namespace) -> ExperimentResult:
         lag_seconds=args.lag, probe_k=args.probe_k, seed=args.seed,
         partition_records=8,
     )
+    chaos = None
+    if args.chaos:
+        from repro.chaos.profiles import build_schedule
+        from repro.chaos.runtime import ChaosConfig
+
+        chaos = ChaosConfig(
+            faults=build_schedule(args.chaos, topology, seed=args.chaos_seed)
+        )
 
     def factory():
         return build_workload(
@@ -145,7 +167,7 @@ def _experiment(scheme: str, args: argparse.Namespace) -> ExperimentResult:
         )
 
     return run_experiment(scheme, factory, topology, config,
-                          query_limit=args.queries)
+                          query_limit=args.queries, chaos=chaos)
 
 
 def _print_result(result: ExperimentResult) -> None:
@@ -158,6 +180,13 @@ def _print_result(result: ExperimentResult) -> None:
         f"LP {prep.lp_solve_seconds * 1000:.1f} ms, "
         f"{len(prep.probes)} probes"
     )
+    if result.chaos_profile is not None:
+        print(
+            f"  chaos [{result.chaos_profile}]: "
+            f"{result.total_retries} retries, "
+            f"lost {format_bytes(result.total_lost_bytes)}, "
+            f"{result.aborted_queries} aborted queries"
+        )
 
 
 def _wants_observability(args: argparse.Namespace) -> bool:

@@ -14,10 +14,13 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.engine.job import JobResult, MapReduceEngine
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FaultError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.runtime import ChaosConfig
 from repro.obs import instrument
 from repro.olap.dimension_cube import DimensionCubeSet
 from repro.olap.storage import StorageModel, StorageReport
@@ -69,6 +72,25 @@ class PreparationReport:
         return self.movement.total_moved_bytes if self.movement else 0.0
 
 
+@dataclass
+class QueryOutcome:
+    """One query execution under the failure-aware runtime.
+
+    ``aborted`` queries overshot the chaos deadline: ``completed_sites``
+    finished their reduce work in time and ``partial_fraction`` is the
+    share of reduce-input bytes those sites account for — the
+    partial-result the caller can still serve.  ``lost_bytes`` counts
+    shuffle data abandoned by exhausted transfer retries.
+    """
+
+    result: JobResult
+    aborted: bool = False
+    deadline_seconds: Optional[float] = None
+    completed_sites: List[str] = field(default_factory=list)
+    partial_fraction: float = 1.0
+    lost_bytes: float = 0.0
+
+
 class Controller:
     """One scheme's controller over one topology."""
 
@@ -77,11 +99,17 @@ class Controller:
         profile: SystemProfile,
         topology: WanTopology,
         config: SystemConfig = SystemConfig(),
+        chaos: "Optional[ChaosConfig]" = None,
     ) -> None:
         topology.validate()
         self.profile = profile
         self.topology = topology
         self.config = config
+        self.chaos = chaos
+        faults = chaos.faults if chaos is not None else None
+        stall_timeout = (
+            chaos.retry.stall_timeout_seconds if chaos is not None else math.inf
+        )
         self.engine = MapReduceEngine(
             topology,
             partition_records=config.partition_records,
@@ -89,8 +117,12 @@ class Controller:
             dimsum_config=DimsumConfig(gamma=config.dimsum_gamma, seed=config.seed),
             seed=config.seed,
             charge_rdd_overhead=config.charge_rdd_overhead,
+            faults=faults,
+            stall_timeout_seconds=stall_timeout,
         )
-        self.scheduler = TransferScheduler(topology)
+        self.scheduler = TransferScheduler(
+            topology, faults=faults, stall_timeout_seconds=stall_timeout
+        )
         self.profiler = ReductionProfiler()
         self.bandwidth = BandwidthEstimator(topology)
         self.checker = SimilarityChecker()
@@ -99,6 +131,10 @@ class Controller:
         self._prepared: Optional[PreparationReport] = None
         self._movement_fractions: Dict[Tuple[str, str, str], float] = {}
         self._policy: MovementPolicy = MovementPolicy.RANDOM
+        self.last_outcome: Optional[QueryOutcome] = None
+        self.degraded_replans = 0
+        #: Sites taken out by a fault; later replans keep excluding them.
+        self.dead_sites: set = set()
 
     # ------------------------------------------------------------------
     # offline phase
@@ -128,7 +164,14 @@ class Controller:
             )
 
         with obs.tracer.span("placement", stage="placement"):
-            problem = self._placement_problem(workload, report)
+            alive = [
+                site
+                for site in self.topology.site_names
+                if site not in self.dead_sites
+            ]
+            problem = self._placement_problem(
+                workload, report, sites=alive if self.dead_sites else None
+            )
             decision = self._plan(problem, workload)
         if obs.sanitizer.enabled:
             obs.sanitizer.check_placement(
@@ -162,6 +205,7 @@ class Controller:
                 self.scheduler,
                 lag_seconds=self.config.lag_seconds,
                 seed=self.config.seed,
+                retry_policy=self.chaos.retry if self.chaos is not None else None,
             )
         if obs.sanitizer.enabled:
             obs.sanitizer.check_movement(
@@ -219,6 +263,80 @@ class Controller:
             seed=self.config.seed,
         )
 
+    def prepare_degraded(
+        self, workload: Workload, dead_sites: List[str]
+    ) -> PreparationReport:
+        """Re-solve the placement with ``dead_sites`` excluded (chaos).
+
+        Triggered when a site outage invalidates the standing plan:
+        the placement LP runs again over the surviving sites only
+        (reusing the already-measured probe similarities), and reduce
+        fractions shift so no work is routed to dead sites.  Data held
+        at dead sites is unreachable and drops out of the problem.
+        """
+        obs = instrument.current()
+        dead = set(dead_sites) | self.dead_sites
+        alive = [site for site in self.topology.site_names if site not in dead]
+        if not alive:
+            raise FaultError("all sites are down; no placement can survive")
+        self.dead_sites = dead
+        # Standing per-batch movement routes must not touch dead sites.
+        self._movement_fractions = {
+            key: fraction
+            for key, fraction in self._movement_fractions.items()
+            if key[1] not in dead and key[2] not in dead
+        }
+        with obs.tracer.span(
+            "degraded-replan",
+            stage="chaos",
+            scheme=self.profile.name,
+            dead=",".join(sorted(dead)),
+        ):
+            report = PreparationReport(scheme=self.profile.name)
+            if self._prepared is not None:
+                report.cross_similarity = dict(self._prepared.cross_similarity)
+                report.intra_similarity = dict(self._prepared.intra_similarity)
+            if len(alive) == 1:
+                # Sole survivor: everything it still holds reduces locally.
+                self._fractions = {alive[0]: 1.0}
+                report.reduce_fractions = dict(self._fractions)
+            else:
+                problem = self._placement_problem(workload, report, sites=alive)
+                decision = self._plan(problem, workload)
+                if obs.sanitizer.enabled:
+                    obs.sanitizer.check_placement(
+                        problem, decision.reduce_fractions, decision.moves
+                    )
+                report.lp_solve_seconds = decision.solve_seconds
+                report.planner_iterations = decision.iterations
+                report.estimated_shuffle_seconds = (
+                    decision.estimated_shuffle_seconds
+                )
+                report.reduce_fractions = dict(decision.reduce_fractions)
+                plan = PlacementPlan(
+                    moves=decision.moves,
+                    reduce_fractions=decision.reduce_fractions,
+                    policy=self._policy,
+                )
+                report.movement = execute_plan(
+                    workload.catalog,
+                    plan,
+                    workload.key_indices(),
+                    self.scheduler,
+                    lag_seconds=self.config.lag_seconds,
+                    seed=self.config.seed,
+                    retry_policy=(
+                        self.chaos.retry if self.chaos is not None else None
+                    ),
+                )
+                self.bandwidth.observe_transfers(report.movement.transfers)
+                self._fractions = dict(decision.reduce_fractions)
+        self.degraded_replans += 1
+        obs.metrics.counter(
+            "degraded_replans", scheme=self.profile.name
+        ).inc()
+        return report
+
     # ------------------------------------------------------------------
     # online phase
     # ------------------------------------------------------------------
@@ -255,6 +373,54 @@ class Controller:
         self.profiler.observe(spec, result)
         query.record_execution()
         return result
+
+    def run_query_outcome(
+        self, workload: Workload, query: RecurringQuery
+    ) -> QueryOutcome:
+        """Run one query and judge it against the chaos deadline.
+
+        Without a configured deadline this is :meth:`run_query` plus
+        lost-byte accounting.  With one, a query whose QCT overshoots is
+        marked aborted and the sites whose reduce work *did* finish in
+        time are reported as the partial result, weighted by their share
+        of reduce-input bytes.
+        """
+        result = self.run_query(workload, query)
+        obs = instrument.current()
+        deadline = (
+            self.chaos.deadline_seconds if self.chaos is not None else None
+        )
+        outcome = QueryOutcome(
+            result=result,
+            deadline_seconds=deadline,
+            lost_bytes=result.total_lost_bytes,
+        )
+        if deadline is not None and result.qct > deadline:
+            outcome.aborted = True
+            active = {
+                site: metrics
+                for site, metrics in result.per_site.items()
+                if not metrics.excluded
+            }
+            outcome.completed_sites = [
+                site
+                for site, metrics in active.items()
+                if metrics.finish_time <= deadline + 1e-9
+            ]
+            total = sum(
+                metrics.downloaded_bytes + metrics.local_shuffle_bytes
+                for metrics in active.values()
+            )
+            done = sum(
+                active[site].downloaded_bytes + active[site].local_shuffle_bytes
+                for site in outcome.completed_sites
+            )
+            outcome.partial_fraction = done / total if total > 0 else 1.0
+            obs.metrics.counter(
+                "query_aborts", scheme=self.profile.name
+            ).inc()
+        self.last_outcome = outcome
+        return outcome
 
     def run_all_queries(
         self, workload: Workload, limit: Optional[int] = None
@@ -438,8 +604,16 @@ class Controller:
         )
 
     def _placement_problem(
-        self, workload: Workload, report: PreparationReport
+        self,
+        workload: Workload,
+        report: PreparationReport,
+        sites: Optional[List[str]] = None,
     ) -> PlacementProblem:
+        """Build the LP input; ``sites`` restricts it to survivors only
+        (degraded replanning under a site outage — dead sites' data is
+        unreachable and drops out)."""
+        site_names = sites if sites is not None else self.topology.site_names
+        allowed = set(site_names)
         input_bytes: Dict[str, Dict[str, float]] = {}
         reduction: Dict[str, float] = {}
         similarity: Dict[str, Dict[str, float]] = {}
@@ -447,7 +621,9 @@ class Controller:
         for dataset in workload.catalog:
             dataset_id = dataset.dataset_id
             input_bytes[dataset_id] = {
-                site: float(size) for site, size in dataset.bytes_by_site().items()
+                site: float(size)
+                for site, size in dataset.bytes_by_site().items()
+                if site in allowed
             }
             primary = workload.primary_query(dataset_id)
             reduction[dataset_id] = self.profiler.ratio_for(primary)
@@ -458,7 +634,7 @@ class Controller:
                 # dimension cubes give each type's similarity for free).
                 type_weights = workload.query_type_weights_for(dataset_id)
                 per_site: Dict[str, float] = {}
-                for site in self.topology.site_names:
+                for site in site_names:
                     cube_set = self._cubes.get((dataset_id, site))
                     if cube_set is None:
                         continue
@@ -476,6 +652,8 @@ class Controller:
                     for (d_id, origin, target), value
                     in report.cross_similarity.items()
                     if d_id == dataset_id
+                    and origin in allowed
+                    and target in allowed
                 }
                 if pairs:
                     cross[dataset_id] = pairs
@@ -484,9 +662,15 @@ class Controller:
             compute = {
                 site.name: site.compute_bps * site.executors
                 for site in self.topology
+                if site.name in allowed
             }
+        estimated = self.bandwidth.estimated_topology()
+        if sites is not None:
+            estimated = WanTopology.from_sites(
+                [estimated.site(name) for name in site_names]
+            )
         return PlacementProblem(
-            topology=self.bandwidth.estimated_topology(),
+            topology=estimated,
             input_bytes=input_bytes,
             reduction_ratio=reduction,
             similarity=similarity,

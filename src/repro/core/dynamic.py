@@ -30,6 +30,9 @@ class DynamicRunResult:
     qcts: List[float] = field(default_factory=list)
     replans: int = 0
     batches_applied: int = 0
+    #: Out-of-band degraded replans triggered by site outages (chaos).
+    fault_replans: int = 0
+    aborted_queries: int = 0
 
     @property
     def mean_qct(self) -> float:
@@ -45,12 +48,20 @@ def run_dynamic(
     num_queries: int,
     replan_every: int = 5,
     query_cycle: Optional[List[RecurringQuery]] = None,
+    cycle_seconds: Optional[float] = None,
 ) -> DynamicRunResult:
     """Drive a controller through the dynamic-dataset protocol.
 
     ``workload.catalog`` must hold the datasets at their *initial* slice;
     ``feeds`` provides the batch schedule per dataset id.  One batch per
-    dataset arrives between consecutive queries until each feed drains.
+    dataset arrives between consecutive queries until each feed drains —
+    but not after the final query, whose results nothing would consume.
+
+    When the controller carries a chaos schedule, each query/batch cycle
+    advances a simulated wall-clock by ``cycle_seconds`` (the lag window
+    by default); a site outage beginning inside the just-finished cycle
+    invalidates the standing plan and triggers an out-of-band degraded
+    replan over the surviving sites.
     """
     if num_queries < 1:
         raise ConfigurationError("num_queries must be >= 1")
@@ -64,12 +75,24 @@ def run_dynamic(
     if not queries:
         raise ConfigurationError("no queries to run")
 
+    faults = controller.chaos.faults if controller.chaos is not None else None
+    cycle = cycle_seconds if cycle_seconds is not None else controller.config.lag_seconds
+
     result = DynamicRunResult()
     controller.prepare(workload)
     result.replans = 1
     for index in range(num_queries):
-        job = controller.run_query(workload, queries[index % len(queries)])
-        result.qcts.append(job.qct)
+        outcome = controller.run_query_outcome(
+            workload, queries[index % len(queries)]
+        )
+        result.qcts.append(outcome.result.qct)
+        if outcome.aborted:
+            result.aborted_queries += 1
+        last_query = index + 1 == num_queries
+        if last_query:
+            # No query will ever see data arriving after the final one;
+            # applying and placing that batch would only burn WAN bytes.
+            break
         # New data lands between queries; it is pre-processed and moved
         # per the current placement decision before the next query, and a
         # fresh plan is computed on the replan boundary.
@@ -89,7 +112,20 @@ def run_dynamic(
             }
         if arrivals:
             controller.place_new_data(workload, arrivals)
-        if (index + 1) % replan_every == 0 and index + 1 < num_queries:
+        if faults is not None:
+            window_start = index * cycle
+            window_end = (index + 1) * cycle
+            if faults.outages_starting_in(window_start, window_end):
+                dead = [
+                    site
+                    for site in controller.topology.site_names
+                    if faults.site_dead_at(site, window_end)
+                ]
+                if dead:
+                    controller.prepare_degraded(workload, dead)
+                    result.fault_replans += 1
+                    continue  # the degraded plan replaces this cycle's replan
+        if (index + 1) % replan_every == 0:
             controller.prepare(workload)
             result.replans += 1
     return result

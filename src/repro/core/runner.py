@@ -10,8 +10,10 @@ workload, and reports QCT and per-site intermediate data for both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.runtime import ChaosConfig
 from repro.core.controller import Controller, PreparationReport
 from repro.engine.job import MapReduceEngine
 from repro.obs import instrument
@@ -47,6 +49,11 @@ class ExperimentResult:
     prep: PreparationReport
     runs: List[QueryRun] = field(default_factory=list)
     baseline_runs: List[QueryRun] = field(default_factory=list)
+    #: Chaos accounting (all zero / None on benign runs; not serialized).
+    chaos_profile: Optional[str] = None
+    aborted_queries: int = 0
+    total_lost_bytes: float = 0.0
+    total_retries: int = 0
 
     @property
     def mean_qct(self) -> float:
@@ -91,13 +98,19 @@ def run_experiment(
     topology: WanTopology,
     config: Optional[SystemConfig] = None,
     query_limit: Optional[int] = None,
+    chaos: "Optional[ChaosConfig]" = None,
 ) -> ExperimentResult:
     """Prepare + execute a scheme, and the vanilla baseline, on fresh
-    copies of the same workload."""
+    copies of the same workload.
+
+    With ``chaos``, the scheme under test runs on the failure-aware
+    runtime (the vanilla baseline stays benign — it defines the metric's
+    denominator) and the result carries abort/loss/retry accounting.
+    """
     config = config or SystemConfig()
     obs = instrument.current()
 
-    controller = make_system(system_name, topology, config)
+    controller = make_system(system_name, topology, config, chaos=chaos)
     workload = workload_factory()
     with obs.tracer.span(
         f"experiment:{system_name}",
@@ -109,11 +122,26 @@ def run_experiment(
         result = ExperimentResult(
             system=system_name, workload=workload.name, prep=prep
         )
+        if chaos is not None:
+            result.chaos_profile = chaos.faults.name or "custom"
+            if prep.movement is not None:
+                result.total_retries += prep.movement.retries
+                result.total_lost_bytes += prep.movement.abandoned_bytes
         queries = (
             workload.queries[:query_limit] if query_limit else workload.queries
         )
         for query in queries:
-            job = controller.run_query(workload, query)
+            if chaos is not None:
+                outcome = controller.run_query_outcome(workload, query)
+                job = outcome.result
+                if outcome.aborted:
+                    result.aborted_queries += 1
+                result.total_lost_bytes += outcome.lost_bytes
+                result.total_retries += sum(
+                    r.attempts - 1 for r in job.transfers
+                )
+            else:
+                job = controller.run_query(workload, query)
             result.runs.append(_to_run(query, job))
 
         baseline_workload = workload_factory()

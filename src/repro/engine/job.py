@@ -17,8 +17,9 @@ Timeline per job (matching §2.1's stage structure):
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
 from repro.engine.assignment import assign_partitions
 from repro.engine.combiner import CombinedOutput, combine
@@ -31,6 +32,9 @@ from repro.similarity.dimsum import DimsumConfig
 from repro.types import GeoDataset
 from repro.wan.topology import WanTopology
 from repro.wan.transfer import Transfer, TransferResult, TransferScheduler
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.schedule import FaultSchedule
 
 
 @dataclass
@@ -51,6 +55,12 @@ class SiteMetrics:
     map_finish: float = 0.0
     reduce_seconds: float = 0.0
     finish_time: float = 0.0
+    #: Chaos accounting: map-task waves re-executed after injected
+    #: failures, shuffle bytes lost to abandoned transfers, and whether
+    #: the site sat out the job entirely (site outage).
+    task_retry_waves: int = 0
+    lost_bytes: float = 0.0
+    excluded: bool = False
 
     @property
     def combine_savings(self) -> float:
@@ -87,6 +97,15 @@ class JobResult:
             metrics.rdd_overhead_seconds for metrics in self.per_site.values()
         )
 
+    @property
+    def total_lost_bytes(self) -> float:
+        """Shuffle bytes that never arrived (abandoned under chaos)."""
+        return sum(metrics.lost_bytes for metrics in self.per_site.values())
+
+    @property
+    def failed_transfers(self) -> List[TransferResult]:
+        return [result for result in self.transfers if result.failed]
+
     def intermediate_bytes_at(self, site: str) -> float:
         metrics = self.per_site.get(site)
         return metrics.intermediate_bytes if metrics else 0.0
@@ -104,14 +123,28 @@ class MapReduceEngine:
         lan_bps: float = 10.0e9,
         seed: int = 7,
         charge_rdd_overhead: bool = True,
+        faults: "Optional[FaultSchedule]" = None,
+        stall_timeout_seconds: float = math.inf,
     ) -> None:
+        """``faults`` injects a chaos schedule: dead sites sit out the
+        job, stragglers slow a site's map/reduce compute, failed task
+        waves re-execute, and the shuffle runs over the fault-aware WAN
+        simulator (``stall_timeout_seconds`` bounds blackout parking;
+        transfers that exceed it are lost and their bytes accounted in
+        :attr:`SiteMetrics.lost_bytes`)."""
         if partition_records < 1:
             raise EngineError("partition_records must be >= 1")
         self.topology = topology
         self.partition_records = partition_records
         self.rdd_similarity = rdd_similarity
         self.dimsum_config = dimsum_config
-        self.scheduler = TransferScheduler(topology, lan_bps=lan_bps)
+        self.faults = faults
+        self.scheduler = TransferScheduler(
+            topology,
+            lan_bps=lan_bps,
+            faults=faults,
+            stall_timeout_seconds=stall_timeout_seconds,
+        )
         self.seed = seed
         self.charge_rdd_overhead = charge_rdd_overhead
 
@@ -160,6 +193,9 @@ class MapReduceEngine:
         if not jobs:
             return []
         fractions = self._resolve_fractions(reduce_fractions)
+        dead_sites = self._dead_sites()
+        if dead_sites:
+            fractions = self._exclude_dead_fractions(fractions, dead_sites)
         if share_task_map:
             task_counts = {spec.num_reduce_tasks for _dataset, spec in jobs}
             if len(task_counts) != 1:
@@ -182,12 +218,17 @@ class MapReduceEngine:
             metrics = {
                 site.name: SiteMetrics(site=site.name) for site in self.topology
             }
-            site_outputs = {
-                site_name: self._map_stage(
+            site_outputs = {}
+            for site_name in self.topology.site_names:
+                if site_name in dead_sites:
+                    # Site outage: its shard is unreachable — no map work,
+                    # no shuffle contribution, partial results downstream.
+                    metrics[site_name].excluded = True
+                    site_outputs[site_name] = []
+                    continue
+                site_outputs[site_name] = self._map_stage(
                     dataset, spec, site_name, metrics[site_name], cube_sorted
                 )
-                for site_name in self.topology.site_names
-            }
             if collect_keys:
                 counts: Dict = {}
                 sizes: Dict = {}
@@ -281,6 +322,33 @@ class MapReduceEngine:
             raise EngineError(f"reduce fractions name unknown sites {sorted(unknown)}")
         return dict(reduce_fractions)
 
+    def _dead_sites(self) -> "frozenset[str]":
+        """Sites dark at job start under the injected fault schedule."""
+        if self.faults is None:
+            return frozenset()
+        return frozenset(
+            name
+            for name in self.topology.site_names
+            if self.faults.site_dead_at(name, 0.0)
+        )
+
+    def _exclude_dead_fractions(
+        self, fractions: Dict[str, float], dead_sites: "frozenset[str]"
+    ) -> Dict[str, float]:
+        """Re-route reduce work away from dead sites (renormalized)."""
+        alive = {
+            site: fraction
+            for site, fraction in fractions.items()
+            if site not in dead_sites
+        }
+        total = sum(alive.values())
+        if not alive or total <= 0:
+            raise EngineError(
+                "all reduce fractions land on dead sites "
+                f"{sorted(dead_sites)}; nothing can host reduce tasks"
+            )
+        return {site: fraction / total for site, fraction in alive.items()}
+
     def _map_stage(
         self,
         dataset: GeoDataset,
@@ -341,6 +409,13 @@ class MapReduceEngine:
             output.num_records for output in executor_outputs
         )
         site_metrics.map_seconds = busiest_executor_bytes / site.compute_bps
+        if self.faults is not None:
+            # Stragglers stretch the busiest executor; every failed task
+            # wave re-runs it once more.
+            slowdown = self.faults.compute_slowdown(site_name)
+            waves = self.faults.task_failure_waves(site_name)
+            site_metrics.task_retry_waves = waves
+            site_metrics.map_seconds *= slowdown * (1.0 + waves)
         overhead = (
             site_metrics.rdd_overhead_seconds if self.charge_rdd_overhead else 0.0
         )
@@ -360,6 +435,10 @@ class MapReduceEngine:
             if site_metrics.rdd_overhead_seconds > 0:
                 metrics.histogram("rdd_overhead_seconds", site=site_name).observe(
                     site_metrics.rdd_overhead_seconds
+                )
+            if site_metrics.task_retry_waves > 0:
+                metrics.counter("task_retries", site=site_name).inc(
+                    site_metrics.task_retry_waves
                 )
         return executor_outputs
 
@@ -404,12 +483,25 @@ class MapReduceEngine:
     def _reduce_stage(
         self, results: Sequence[TransferResult], metrics: Dict[str, SiteMetrics]
     ) -> float:
-        """Compute reduce finish times; returns the job QCT."""
+        """Compute reduce finish times; returns the job QCT.
+
+        Transfers that failed under chaos delivered nothing: their bytes
+        move from the uploaded/downloaded ledgers into the source site's
+        ``lost_bytes`` (so WAN conservation holds over delivered bytes),
+        and the reduce at the destination still waits out the failed
+        attempt before proceeding with what did arrive.
+        """
         inbound_finish: Dict[str, float] = {}
         inbound_bytes: Dict[str, float] = {}
         for result in results:
             dst = result.transfer.dst
             inbound_finish[dst] = max(inbound_finish.get(dst, 0.0), result.finish_time)
+            if result.failed:
+                src = result.transfer.src
+                metrics[src].uploaded_bytes -= result.transfer.num_bytes
+                metrics[src].lost_bytes += result.transfer.num_bytes
+                metrics[dst].downloaded_bytes -= result.transfer.num_bytes
+                continue
             inbound_bytes[dst] = inbound_bytes.get(dst, 0.0) + result.transfer.num_bytes
 
         qct = 0.0
@@ -420,6 +512,10 @@ class MapReduceEngine:
             site_metrics.reduce_seconds = received / (
                 site.compute_bps * site.executors
             )
+            if self.faults is not None and received > 0:
+                site_metrics.reduce_seconds *= self.faults.compute_slowdown(
+                    site_name
+                )
             site_metrics.finish_time = start + site_metrics.reduce_seconds
             qct = max(qct, site_metrics.finish_time)
         return qct

@@ -59,3 +59,11 @@ class LintError(ReproError):
 
 class InvariantViolation(ReproError):
     """Raised by the runtime sanitizer when a simulation invariant breaks."""
+
+
+class FaultError(ReproError):
+    """Raised for malformed fault schedules or unknown chaos profiles."""
+
+
+class TransferAbandoned(ReproError):
+    """Raised when a transfer exhausts its retry budget under chaos."""

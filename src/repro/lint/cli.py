@@ -55,6 +55,19 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=2,
         help="queries per run in the determinism smoke (default: 2)",
     )
+    parser.add_argument(
+        "--chaos",
+        metavar="PROFILE",
+        default=None,
+        help="run the determinism smoke under an injected fault "
+        "schedule (a repro.chaos profile name)",
+    )
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=13,
+        help="seed deriving the smoke's fault schedule (default: 13)",
+    )
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -85,6 +98,8 @@ def run_lint(args: argparse.Namespace) -> int:
             workload=args.workload,
             seed=args.seed,
             queries=args.queries,
+            chaos_profile=args.chaos,
+            chaos_seed=args.chaos_seed,
         )
         if args.paths:
             print()

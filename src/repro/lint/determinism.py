@@ -121,8 +121,15 @@ def run_determinism_check(
     queries: int = 2,
     scale: float = 1.0,
     base_uplink: str = "2MB/s",
+    chaos_profile: "str | None" = None,
+    chaos_seed: int = 13,
 ) -> DeterminismReport:
-    """Execute the experiment twice and compare sim-content digests."""
+    """Execute the experiment twice and compare sim-content digests.
+
+    With ``chaos_profile`` both runs execute under the same injected
+    fault schedule: faults, retries, and degraded replanning must be
+    exactly as deterministic as the benign simulator.
+    """
     from repro.core.runner import run_experiment
     from repro.obs import instrument
     from repro.systems.base import SystemConfig
@@ -138,6 +145,14 @@ def run_determinism_check(
             partition_records=8,
             charge_rdd_overhead=False,  # wall-measured; excluded by design
         )
+        chaos = None
+        if chaos_profile is not None:
+            from repro.chaos.profiles import build_schedule
+            from repro.chaos.runtime import ChaosConfig
+
+            chaos = ChaosConfig(
+                faults=build_schedule(chaos_profile, topology, seed=chaos_seed)
+            )
 
         def factory():
             return build_workload(
@@ -146,7 +161,8 @@ def run_determinism_check(
 
         with instrument.instrumented() as obs:
             result = run_experiment(
-                scheme, factory, topology, config, query_limit=queries
+                scheme, factory, topology, config, query_limit=queries,
+                chaos=chaos,
             )
         digests.append(
             (

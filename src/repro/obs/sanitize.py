@@ -16,7 +16,11 @@ when the simulator is healthy, checked at the existing
   move budgets are non-negative and never exceed what the source site
   holds;
 * **movement fit** — executed data movement lands inside the lag window
-  whenever the plan claims it did.
+  whenever the plan claims it did;
+* **fault accounting** (chaos runs only) — bytes lost to abandoned
+  transfers match the failed transfers' payloads, outage-excluded sites
+  did no work, and the retry loop conserves bytes (delivered + abandoned
+  == requested) within the policy's attempt budget.
 
 A disabled call site costs one attribute check (``sanitizer.enabled``),
 mirroring the tracer/metrics no-op twins.  In ``collect`` mode (the CLI
@@ -57,6 +61,9 @@ class NullSanitizer:
         return None
 
     def check_movement(self, movement, lag_seconds: float) -> None:
+        return None
+
+    def check_retry_outcome(self, outcome, policy) -> None:
         return None
 
 
@@ -170,6 +177,41 @@ class Sanitizer:
                 f"{transfer_result.finish_time} before its start "
                 f"{transfer_result.transfer.start_time}",
             )
+        # Chaos invariants, only exercised when faults actually bit (so
+        # benign runs keep an identical check count and summary).
+        failed = [
+            t for t in result.transfers if getattr(t, "failed", False)
+        ]
+        total_lost = sum(
+            getattr(metrics, "lost_bytes", 0.0)
+            for metrics in result.per_site.values()
+        )
+        if failed or total_lost:
+            self._check(
+                "fault-accounting",
+                self._eq(
+                    total_lost,
+                    sum(t.transfer.num_bytes for t in failed),
+                    _ABS_TOL_BYTES,
+                ),
+                f"lost {total_lost:.3f} B but failed transfers carried "
+                f"{sum(t.transfer.num_bytes for t in failed):.3f} B",
+            )
+        for site, metrics in result.per_site.items():
+            if not getattr(metrics, "excluded", False):
+                continue
+            idle = (
+                metrics.uploaded_bytes,
+                metrics.downloaded_bytes,
+                metrics.map_seconds,
+                metrics.finish_time,
+            )
+            self._check(
+                "fault-exclusion",
+                all(value == 0.0 for value in idle),  # lint: allow[R004] — exact 0.0 contract for a site that sat out
+                f"{site}: excluded by outage but still did work "
+                f"(up={metrics.uploaded_bytes}, down={metrics.downloaded_bytes})",
+            )
 
     def check_clock(self, previous: float, now: float, where: str = "wan") -> None:
         """The progressive-filling loop's clock must never run backwards."""
@@ -238,6 +280,63 @@ class Sanitizer:
                 "movement-lag",
                 moved >= 0.0,
                 f"negative moved bytes for {dataset} {src}->{dst}: {moved}",
+            )
+
+    def check_retry_outcome(self, outcome, policy) -> None:
+        """Retry-loop conservation: every requested byte is either
+        delivered or accounted as abandoned, attempts respect the policy
+        budget, and the clock never runs backwards across backoffs."""
+        self._check(
+            "retry-conservation",
+            self._eq(
+                outcome.delivered_bytes + outcome.abandoned_bytes,
+                outcome.requested_bytes,
+                _ABS_TOL_BYTES,
+            ),
+            f"delivered {outcome.delivered_bytes:.3f} B + abandoned "
+            f"{outcome.abandoned_bytes:.3f} B != requested "
+            f"{outcome.requested_bytes:.3f} B",
+        )
+        expected_retries = sum(
+            result.attempts - 1 for result in outcome.results
+        )
+        self._check(
+            "retry-conservation",
+            outcome.retries == expected_retries,
+            f"retry counter {outcome.retries} != extra attempts "
+            f"{expected_retries}",
+        )
+        failed_count = sum(1 for result in outcome.results if result.failed)
+        self._check(
+            "retry-conservation",
+            len(outcome.abandoned) == failed_count,
+            f"{failed_count} failed results but {len(outcome.abandoned)} "
+            f"recorded as abandoned",
+        )
+        for result in outcome.results:
+            label = f"{result.transfer.src}->{result.transfer.dst}"
+            self._check(
+                "retry-budget",
+                1 <= result.attempts <= policy.max_attempts,
+                f"transfer {label} used {result.attempts} attempts with a "
+                f"budget of {policy.max_attempts}",
+            )
+            if result.failed:
+                self._check(
+                    "retry-budget",
+                    result.attempts == policy.max_attempts,
+                    f"transfer {label} abandoned after {result.attempts} "
+                    f"attempts with budget {policy.max_attempts} left unspent",
+                )
+            self._check(
+                "sim-clock",
+                self._le(
+                    result.transfer.start_time,
+                    result.finish_time,
+                    _ABS_TOL_SECONDS,
+                ),
+                f"transfer {label} finished at {result.finish_time} before "
+                f"its original submission {result.transfer.start_time}",
             )
 
     # ------------------------------------------------------------------

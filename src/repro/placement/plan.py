@@ -18,9 +18,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.errors import PlacementError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.runtime import RetryPolicy
 from repro.placement.lp import Moves
 from repro.types import DatasetCatalog, Key, Record
 from repro.util.rng import derive_rng
@@ -53,6 +56,11 @@ class MovementReport:
     within_lag: bool = True
     scale_factor: float = 1.0
     transfers: List[TransferResult] = field(default_factory=list)
+    #: Chaos accounting: transfer re-submissions and bytes whose moves
+    #: were rolled back because the transfer exhausted its retry budget
+    #: (those records stay at their source site).
+    retries: int = 0
+    abandoned_bytes: float = 0.0
 
     @property
     def total_moved_bytes(self) -> float:
@@ -125,6 +133,7 @@ def execute_plan(
     lag_seconds: float,
     seed: int = 7,
     max_rescale_rounds: int = 3,
+    retry_policy: "Optional[RetryPolicy]" = None,
 ) -> MovementReport:
     """Move records across shards per the plan, within the lag window.
 
@@ -132,6 +141,14 @@ def execute_plan(
     pre-move shards, then a WAN simulation verifies the movement fits in
     ``lag_seconds``; on overshoot all budgets shrink proportionally and
     selection reruns (bounded retries), after which the moves are applied.
+
+    With ``retry_policy`` (the failure-aware runtime), transfers run
+    through :func:`repro.chaos.runtime.simulate_with_retries`: failed
+    attempts back off and re-send, transfers that exhaust the budget are
+    *rolled back* (their records stay at the source), and a movement
+    that cannot fit the lag window even after rescaling proceeds with
+    ``within_lag=False`` instead of raising — under injected faults an
+    overshoot is an expected outcome to report, not a planner bug.
     """
     if lag_seconds <= 0:
         raise PlacementError("lag_seconds must be > 0")
@@ -139,24 +156,50 @@ def execute_plan(
 
     scale = 1.0
     report = MovementReport()
-    for _ in range(max_rescale_rounds):
+    for round_index in range(max_rescale_rounds):
         selection = _select_all(catalog, plan, key_indices, scale, rng)
         transfers = [
             Transfer(src=src, dst=dst, num_bytes=_bytes_of(records), tag=dataset)
             for (dataset, src, dst), records in selection.items()
             if records
         ]
-        makespan = scheduler.makespan(transfers) if transfers else 0.0
-        if makespan <= lag_seconds * 1.0001 or not transfers:
-            results = scheduler.simulate(transfers) if transfers else []
+        outcome = None
+        if not transfers:
+            makespan = 0.0
+        elif retry_policy is not None:
+            from repro.chaos.runtime import simulate_with_retries
+
+            outcome = simulate_with_retries(scheduler, transfers, retry_policy)
+            makespan = outcome.makespan_seconds
+        else:
+            makespan = scheduler.makespan(transfers)
+        last_round = round_index == max_rescale_rounds - 1
+        fits = makespan <= lag_seconds * 1.0001
+        if fits or not transfers or (retry_policy is not None and last_round):
+            if outcome is not None:
+                results = outcome.results
+                failed_moves = {
+                    (result.transfer.tag, result.transfer.src, result.transfer.dst)
+                    for result in results
+                    if result.failed
+                }
+                retries = outcome.retries
+                abandoned_bytes = outcome.abandoned_bytes
+            else:
+                results = scheduler.simulate(transfers) if transfers else []
+                failed_moves = set()
+                retries = 0
+                abandoned_bytes = 0.0
             report = MovementReport(
                 makespan_seconds=makespan,
-                within_lag=makespan <= lag_seconds * 1.0001,
+                within_lag=fits,
                 scale_factor=scale,
                 transfers=results,
+                retries=retries,
+                abandoned_bytes=abandoned_bytes,
             )
             for (dataset, src, dst), records in selection.items():
-                if not records:
+                if not records or (dataset, src, dst) in failed_moves:
                     continue
                 catalog.get(dataset).move_records(src, dst, records)
                 report.moved_bytes[(dataset, src, dst)] = _bytes_of(records)

@@ -9,6 +9,7 @@ from repro.systems.base import SystemConfig, SystemProfile
 from repro.wan.topology import WanTopology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.runtime import ChaosConfig
     from repro.core.controller import Controller
 
 _PROFILES: Dict[str, SystemProfile] = {
@@ -87,13 +88,21 @@ def profile_for(name: str) -> SystemProfile:
 
 
 def make_system(
-    name: str, topology: WanTopology, config: Optional[SystemConfig] = None
+    name: str,
+    topology: WanTopology,
+    config: Optional[SystemConfig] = None,
+    chaos: "Optional[ChaosConfig]" = None,
 ) -> "Controller":
-    """Instantiate a scheme's controller over a topology."""
+    """Instantiate a scheme's controller over a topology.
+
+    ``chaos`` runs the controller under an injected fault schedule with
+    the failure-aware runtime (retries, degraded replanning, deadlines).
+    """
     from repro.core.controller import Controller
 
     return Controller(
         profile=profile_for(name),
         topology=topology,
         config=config or SystemConfig(),
+        chaos=chaos,
     )

@@ -10,6 +10,18 @@ it — get accurate finish times.
 
 Intra-site transfers never touch the WAN; they proceed at the site's LAN
 rate without modelled contention.
+
+Fault injection (:mod:`repro.chaos`): an optional
+:class:`~repro.chaos.schedule.FaultSchedule` scales link capacity the
+same way bandwidth profiles do, except its multiplier may be *zero*
+(blackouts, stalls, site outages).  Flows caught in a zero-capacity
+epoch **park**: they keep their queue position at rate zero and resume
+when capacity returns.  Parking never trips the "all rates zero" stall
+error as long as a capacity change point lies ahead; a flow parked for
+longer than ``stall_timeout_seconds`` (cumulatively) fails its attempt
+instead — all-or-nothing, like a dropped connection — and surfaces as a
+:class:`TransferResult` with ``failed=True`` for the retry layer
+(:func:`repro.chaos.runtime.simulate_with_retries`) to handle.
 """
 
 from __future__ import annotations
@@ -17,11 +29,14 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TopologyError
 from repro.obs import instrument
 from repro.wan.topology import WanTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.schedule import FaultSchedule
 
 #: Resource key: ("up"|"down", site_name).
 _Resource = Tuple[str, str]
@@ -49,21 +64,34 @@ class Transfer:
 
 @dataclass(frozen=True)
 class TransferResult:
-    """Completion record for one transfer."""
+    """Completion (or failure) record for one transfer.
+
+    ``failed`` transfers delivered nothing — the attempt timed out while
+    parked at zero capacity; ``finish_time`` is then the moment the
+    attempt was abandoned.  ``attempts`` counts submissions including
+    this one (> 1 only for results stamped by the retry layer).
+    """
 
     transfer: Transfer
     finish_time: float
+    failed: bool = False
+    attempts: int = 1
 
     @property
     def duration(self) -> float:
         return self.finish_time - self.transfer.start_time
 
     @property
+    def delivered_bytes(self) -> float:
+        """Bytes that actually landed: all of them, or none on failure."""
+        return 0.0 if self.failed else self.transfer.num_bytes
+
+    @property
     def throughput_bps(self) -> float:
-        """Average achieved throughput; 0 for empty transfers."""
+        """Average achieved throughput; 0 for empty or failed transfers."""
         if self.duration <= 0:
             return 0.0
-        return self.transfer.num_bytes / self.duration
+        return self.delivered_bytes / self.duration
 
 
 @dataclass
@@ -72,6 +100,8 @@ class _Flow:
     transfer: Transfer
     remaining: float
     rate: float = 0.0
+    parked_seconds: float = 0.0
+    failed: bool = False
 
 
 class TransferScheduler:
@@ -87,6 +117,8 @@ class TransferScheduler:
         lan_bps: float = 10.0e9,
         profiles: "Optional[Dict[str, object]]" = None,
         propagation_seconds: float = 0.0,
+        faults: "Optional[FaultSchedule]" = None,
+        stall_timeout_seconds: float = math.inf,
     ) -> None:
         """``profiles`` optionally maps site name to a
         :class:`~repro.wan.variability.BandwidthProfile` scaling both its
@@ -96,18 +128,34 @@ class TransferScheduler:
         inter-site transfer (data only starts landing after it), modelling
         the propagation delay of intercontinental paths; intra-site
         transfers are unaffected.
+
+        ``faults`` optionally injects a chaos
+        :class:`~repro.chaos.schedule.FaultSchedule` whose link faults
+        scale capacity like profiles but may reach zero; a flow parked at
+        zero capacity for ``stall_timeout_seconds`` total fails its
+        attempt (the default keeps flows parked indefinitely).
         """
         if lan_bps <= 0:
             raise TopologyError("lan_bps must be > 0")
         if propagation_seconds < 0:
             raise TopologyError("propagation_seconds must be >= 0")
+        if stall_timeout_seconds <= 0:
+            raise TopologyError("stall_timeout_seconds must be > 0")
         self.topology = topology
         self.lan_bps = lan_bps
         self.profiles = profiles or {}
         self.propagation_seconds = propagation_seconds
+        self.faults = faults
+        self.stall_timeout_seconds = stall_timeout_seconds
         unknown = set(self.profiles) - set(topology.site_names)
         if unknown:
             raise TopologyError(f"profiles name unknown sites {sorted(unknown)}")
+        if faults is not None:
+            unknown = set(faults.sites()) - set(topology.site_names)
+            if unknown:
+                raise TopologyError(
+                    f"fault schedule names unknown sites {sorted(unknown)}"
+                )
 
     # ------------------------------------------------------------------
     # public API
@@ -119,24 +167,39 @@ class TransferScheduler:
         with obs.tracer.span(
             "wan-simulate", stage="wan", transfers=len(transfers)
         ):
-            results, filling_rounds = self._simulate(transfers)
+            results, filling_rounds, parked_seconds = self._simulate(transfers)
         if obs.metrics.enabled:
             obs.metrics.counter("wan_simulations").inc()
             obs.metrics.counter("wan_filling_rounds").inc(filling_rounds)
             obs.metrics.counter("wan_transfers").inc(len(transfers))
             for result in results:
-                if result.transfer.src != result.transfer.dst:
+                if result.transfer.src != result.transfer.dst and not result.failed:
                     obs.metrics.counter(
                         "wan_bytes",
                         src=result.transfer.src,
                         dst=result.transfer.dst,
                     ).inc(result.transfer.num_bytes)
+            if parked_seconds > 0:
+                obs.metrics.counter("wan_fault_parked_seconds").inc(parked_seconds)
+            failed = [result for result in results if result.failed]
+            if failed:
+                obs.metrics.counter("wan_fault_failed_transfers").inc(len(failed))
+                obs.metrics.counter("wan_fault_failed_bytes").inc(
+                    sum(result.transfer.num_bytes for result in failed)
+                )
         return results
 
     def _simulate(
         self, transfers: Sequence[Transfer]
-    ) -> Tuple[List[TransferResult], int]:
-        """The event loop; returns results plus progressive-filling rounds."""
+    ) -> Tuple[List[TransferResult], int, float]:
+        """The event loop.
+
+        Returns results, progressive-filling rounds, and total seconds
+        flows spent parked at zero capacity (0.0 on fault-free runs).
+        Admission walks an index cursor over the start-sorted flow list,
+        so a batch of n flows admits in O(n) total instead of the O(n²)
+        that popping the head of a list costs.
+        """
         self._check_sites(transfers)
         sanitizer = instrument.current().sanitizer
         counter = itertools.count()
@@ -148,22 +211,25 @@ class TransferScheduler:
             flows,
             key=lambda flow: (self._effective_start(flow.transfer), flow.flow_id),
         )
+        head = 0
         active: List[_Flow] = []
         finish_times: Dict[int, float] = {}
         now = 0.0
         last_now = 0.0
         filling_rounds = 0
+        parked_total = 0.0
 
-        while pending or active:
+        while head < len(pending) or active:
             if not active:
-                now = max(now, self._effective_start(pending[0].transfer))
+                now = max(now, self._effective_start(pending[head].transfer))
             # Admit every flow whose (latency-adjusted) start has arrived.
             while (
-                pending
-                and self._effective_start(pending[0].transfer)
+                head < len(pending)
+                and self._effective_start(pending[head].transfer)
                 <= now + _EPSILON_TIME
             ):
-                flow = pending.pop(0)
+                flow = pending[head]
+                head += 1
                 if flow.remaining <= _EPSILON_BYTES:
                     finish_times[flow.flow_id] = max(
                         now, self._effective_start(flow.transfer)
@@ -175,12 +241,18 @@ class TransferScheduler:
 
             self._assign_rates(active, now)
             filling_rounds += 1
-            horizon = self._next_event_in(active, pending, now)
-            next_epoch = self._next_profile_change(now)
-            if next_epoch is not None:
-                horizon = min(horizon, max(next_epoch - now, _EPSILON_TIME))
+            next_arrival = (
+                self._effective_start(pending[head].transfer)
+                if head < len(pending)
+                else None
+            )
+            horizon = self._next_event_horizon(active, next_arrival, now)
             for flow in active:
-                flow.remaining -= flow.rate * horizon
+                if flow.rate > 0:
+                    flow.remaining -= flow.rate * horizon
+                else:
+                    flow.parked_seconds += horizon
+                    parked_total += horizon
             now += horizon
             if sanitizer.enabled:
                 sanitizer.check_clock(last_now, now, where="wan-filling")
@@ -190,6 +262,13 @@ class TransferScheduler:
             for flow in active:
                 if flow.remaining <= _EPSILON_BYTES:
                     finish_times[flow.flow_id] = now
+                elif (
+                    flow.rate <= 0.0
+                    and flow.parked_seconds
+                    >= self.stall_timeout_seconds - _EPSILON_TIME
+                ):
+                    flow.failed = True
+                    finish_times[flow.flow_id] = now
                 else:
                     still_active.append(flow)
             active = still_active
@@ -197,11 +276,14 @@ class TransferScheduler:
         return (
             [
                 TransferResult(
-                    transfer=flow.transfer, finish_time=finish_times[flow.flow_id]
+                    transfer=flow.transfer,
+                    finish_time=finish_times[flow.flow_id],
+                    failed=flow.failed,
                 )
                 for flow in flows
             ],
             filling_rounds,
+            parked_total,
         )
 
     def makespan(self, transfers: Sequence[Transfer]) -> float:
@@ -212,21 +294,52 @@ class TransferScheduler:
         return max(result.finish_time for result in results)
 
     def serial_time(self, transfers: Sequence[Transfer]) -> float:
-        """Naive lower-level baseline: run the transfers one at a time.
+        """Naive baseline: run the transfers one at a time, in order.
 
         Used by the WAN-fairness ablation bench to show what ignoring link
-        sharing would predict.
+        sharing would predict.  Each transfer starts at the later of the
+        previous finish and its own *effective* start (propagation
+        included), and its bytes are integrated through the same
+        time-varying capacity (bandwidth profiles and fault epochs) the
+        fair simulator uses — so the ablation compares fair sharing
+        against a consistent serial baseline, not one running on a
+        different network.
         """
         now = 0.0
         for transfer in transfers:
-            now = max(now, transfer.start_time)
+            start = max(now, self._effective_start(transfer))
             if transfer.src == transfer.dst:
-                now += transfer.num_bytes / self.lan_bps
+                now = start + transfer.num_bytes / self.lan_bps
                 continue
-            rate = min(
-                self.topology.uplink(transfer.src), self.topology.downlink(transfer.dst)
+            now = self._serial_finish(transfer, start)
+        return now
+
+    def _serial_finish(self, transfer: Transfer, start: float) -> float:
+        """Finish time of one WAN transfer running alone from ``start``."""
+        nominal = min(
+            self.topology.uplink(transfer.src), self.topology.downlink(transfer.dst)
+        )
+        remaining = transfer.num_bytes
+        now = start
+        while remaining > _EPSILON_BYTES:
+            rate = nominal * min(
+                self._capacity_multiplier(transfer.src, now),
+                self._capacity_multiplier(transfer.dst, now),
             )
-            now += transfer.num_bytes / rate
+            next_change = self._next_capacity_change(now)
+            if rate <= 0.0:
+                if next_change is None:
+                    raise TopologyError(
+                        "serial transfer parked forever (capacity never returns)"
+                    )
+                now = next_change  # park until capacity comes back
+                continue
+            if next_change is None or remaining <= rate * (next_change - now):
+                now += remaining / rate
+                remaining = 0.0
+            else:
+                remaining -= rate * (next_change - now)
+                now = next_change
         return now
 
     # ------------------------------------------------------------------
@@ -247,16 +360,23 @@ class TransferScheduler:
                 raise TopologyError(f"unknown destination site {transfer.dst!r}")
 
     def _capacity_multiplier(self, site: str, now: float) -> float:
+        """Profile multiplier × fault multiplier (may be zero under chaos)."""
         profile = self.profiles.get(site)
-        if profile is None:
-            return 1.0
-        return profile.multiplier_at(now)  # type: ignore[attr-defined]
+        multiplier = (
+            1.0 if profile is None else profile.multiplier_at(now)  # type: ignore[attr-defined]
+        )
+        if self.faults is not None:
+            multiplier *= self.faults.link_multiplier(site, now)
+        return multiplier
 
-    def _next_profile_change(self, now: float) -> Optional[float]:
+    def _next_capacity_change(self, now: float) -> Optional[float]:
+        """Earliest upcoming profile epoch or fault window boundary."""
         upcoming = [
             profile.next_change_after(now)  # type: ignore[attr-defined]
             for profile in self.profiles.values()
         ]
+        if self.faults is not None:
+            upcoming.append(self.faults.next_change_after(now))
         upcoming = [epoch for epoch in upcoming if epoch is not None]
         return min(upcoming) if upcoming else None
 
@@ -313,19 +433,36 @@ class TransferScheduler:
         for flow in wan_flows:
             flow.rate = rates[flow.flow_id]
 
-    def _next_event_in(
-        self, active: List[_Flow], pending: List[_Flow], now: float
+    def _next_event_horizon(
+        self, active: List[_Flow], next_arrival: Optional[float], now: float
     ) -> float:
-        """Time until the next completion or arrival."""
+        """Time until the next completion, arrival, capacity change, or
+        park-timeout expiry.
+
+        Parked flows (rate zero under a fault blackout) contribute no
+        completion event, but an upcoming capacity change point or a
+        finite stall timeout still bounds the horizon; only when *none*
+        of the four event sources lies ahead is the simulation genuinely
+        stuck and the stall error raised.
+        """
         horizon = math.inf
+        parked = False
         for flow in active:
             if flow.rate > 0:
                 horizon = min(horizon, flow.remaining / flow.rate)
-        if pending:
-            horizon = min(
-                horizon,
-                max(self._effective_start(pending[0].transfer) - now, 0.0),
-            )
+            else:
+                parked = True
+                if not math.isinf(self.stall_timeout_seconds):
+                    horizon = min(
+                        horizon,
+                        self.stall_timeout_seconds - flow.parked_seconds,
+                    )
+        if next_arrival is not None:
+            horizon = min(horizon, max(next_arrival - now, 0.0))
+        if parked or self.profiles or self.faults is not None:
+            next_change = self._next_capacity_change(now)
+            if next_change is not None:
+                horizon = min(horizon, next_change - now)
         if math.isinf(horizon):
             raise TopologyError("transfer simulation stalled (all rates zero)")
         return max(horizon, _EPSILON_TIME)

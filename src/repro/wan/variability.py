@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import TopologyError
@@ -30,6 +30,12 @@ class BandwidthProfile:
     """
 
     epochs: Tuple[Tuple[float, float], ...]
+    #: Epoch start times, precomputed once: ``multiplier_at`` sits inside
+    #: the transfer scheduler's progressive-filling inner loop, and
+    #: rebuilding this list per call dominated profile lookups.
+    _starts: Tuple[float, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
 
     def __post_init__(self) -> None:
         if not self.epochs:
@@ -43,6 +49,9 @@ class BandwidthProfile:
             if multiplier <= 0:
                 raise TopologyError(f"multiplier must be > 0, got {multiplier}")
             previous = start
+        object.__setattr__(
+            self, "_starts", tuple(start for start, _ in self.epochs)
+        )
 
     @classmethod
     def constant(cls, multiplier: float = 1.0) -> "BandwidthProfile":
@@ -54,8 +63,7 @@ class BandwidthProfile:
 
     def multiplier_at(self, now: float) -> float:
         """Capacity multiplier in effect at time ``now``."""
-        starts = [start for start, _ in self.epochs]
-        index = bisect.bisect_right(starts, now) - 1
+        index = bisect.bisect_right(self._starts, now) - 1
         if index < 0:
             index = 0
         return self.epochs[index][1]

@@ -1,0 +1,63 @@
+"""Named chaos profiles: validity and seed-determinism."""
+
+import math
+
+import pytest
+
+from repro.chaos.profiles import CHAOS_PROFILES, build_schedule
+from repro.chaos.schedule import FAULT_KINDS
+from repro.errors import FaultError
+from repro.wan.presets import uniform_sites
+
+TOPOLOGY = uniform_sites(6, uplink="1MB/s")
+
+
+class TestBuildSchedule:
+    @pytest.mark.parametrize("profile", CHAOS_PROFILES)
+    def test_profiles_build_valid_schedules(self, profile):
+        schedule = build_schedule(profile, TOPOLOGY, seed=13)
+        assert not schedule.is_empty
+        assert schedule.name == profile
+        assert schedule.seed == 13
+        assert set(schedule.sites()) <= set(TOPOLOGY.site_names)
+        assert all(e.kind in FAULT_KINDS for e in schedule.events)
+
+    @pytest.mark.parametrize("profile", CHAOS_PROFILES)
+    def test_same_seed_identical_schedule(self, profile):
+        first = build_schedule(profile, TOPOLOGY, seed=13)
+        second = build_schedule(profile, TOPOLOGY, seed=13)
+        assert first == second
+
+    def test_different_seed_differs(self):
+        first = build_schedule("flaky-wan", TOPOLOGY, seed=13)
+        second = build_schedule("flaky-wan", TOPOLOGY, seed=14)
+        assert first != second
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(FaultError):
+            build_schedule("volcano", TOPOLOGY)
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(FaultError):
+            build_schedule("flaky-wan", TOPOLOGY, horizon_seconds=0.0)
+
+    def test_site_outage_is_permanent(self):
+        schedule = build_schedule("site-outage", TOPOLOGY, seed=13)
+        [event] = schedule.events
+        assert event.kind == "site-outage"
+        assert math.isinf(event.end)
+        assert schedule.site_dead_at(event.site, event.start + 1.0)
+
+    def test_havoc_mixes_kinds(self):
+        counts = build_schedule("havoc", TOPOLOGY, seed=13).counts_by_kind()
+        assert counts.get("link-degrade", 0) > 0
+        assert counts.get("straggler", 0) > 0
+        assert counts.get("task-failure", 0) > 0
+        assert counts.get("transfer-stall", 0) == 1
+
+    def test_windows_start_early_enough_to_bite(self):
+        # Query sims restart their clock at 0 and finish long before the
+        # horizon; recipes must front-load windows or they never fire.
+        schedule = build_schedule("flaky-wan", TOPOLOGY, seed=13,
+                                  horizon_seconds=120.0)
+        assert all(e.start <= 120.0 * 0.15 + 1e-9 for e in schedule.events)

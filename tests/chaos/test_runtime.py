@@ -1,0 +1,168 @@
+"""Failure-aware runtime: retry policy, backoff, and the retry loop."""
+
+import math
+
+import pytest
+
+from repro.chaos.runtime import (
+    ChaosConfig,
+    RetryPolicy,
+    simulate_with_retries,
+)
+from repro.chaos.schedule import FaultEvent, FaultSchedule
+from repro.errors import ConfigurationError
+from repro.obs import instrument
+from repro.obs.sanitize import Sanitizer
+from repro.wan.topology import Site, WanTopology
+from repro.wan.transfer import Transfer, TransferScheduler
+
+
+def two_sites():
+    return WanTopology.from_sites(
+        [Site("a", 10.0, 100.0), Site("b", 100.0, 10.0)]
+    )
+
+
+def blackout_schedule(start, end, site="a"):
+    return FaultSchedule(
+        events=(FaultEvent("link-blackout", site, start, end),)
+    )
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == 4
+        assert policy.stall_timeout_seconds == 30.0
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_backoff_seconds=1.0, backoff_multiplier=2.0)
+        assert [policy.backoff_seconds(n) for n in (1, 2, 3)] == [1.0, 2.0, 4.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_backoff_seconds=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(stall_timeout_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().backoff_seconds(0)
+
+    def test_chaos_config_deadline_validated(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(faults=FaultSchedule.empty(), deadline_seconds=0.0)
+
+
+class TestSimulateWithRetries:
+    def test_benign_transfers_take_one_attempt(self):
+        scheduler = TransferScheduler(two_sites())
+        outcome = simulate_with_retries(
+            scheduler, [Transfer("a", "b", 100.0)], RetryPolicy()
+        )
+        assert outcome.retries == 0
+        assert outcome.abandoned == []
+        assert outcome.results[0].attempts == 1
+        assert outcome.makespan_seconds == pytest.approx(10.0)
+        assert outcome.delivered_bytes == 100.0
+
+    def test_parked_transfer_recovers_without_retry(self):
+        # Blackout [2, 7) pauses a 10-second transfer for 5 seconds.
+        scheduler = TransferScheduler(
+            two_sites(), faults=blackout_schedule(2.0, 7.0)
+        )
+        outcome = simulate_with_retries(
+            scheduler, [Transfer("a", "b", 100.0)], RetryPolicy()
+        )
+        assert outcome.retries == 0
+        assert outcome.makespan_seconds == pytest.approx(15.0)
+
+    def test_retry_until_capacity_returns(self):
+        # Blackout [0, 27), stall timeout 3s, backoff 1s doubling:
+        # attempts fail at t=3, 7, 12, 19; the fifth resubmits at t=27
+        # just as capacity returns and delivers 100 B at 10 B/s by t=37.
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_backoff_seconds=1.0,
+            backoff_multiplier=2.0,
+            stall_timeout_seconds=3.0,
+        )
+        scheduler = TransferScheduler(
+            two_sites(),
+            faults=blackout_schedule(0.0, 27.0),
+            stall_timeout_seconds=policy.stall_timeout_seconds,
+        )
+        outcome = simulate_with_retries(
+            scheduler, [Transfer("a", "b", 100.0)], policy
+        )
+        assert outcome.retries == 4
+        assert outcome.results[0].attempts == 5
+        assert not outcome.results[0].failed
+        assert outcome.delivered_bytes == 100.0
+        assert outcome.makespan_seconds == pytest.approx(37.0)
+
+    def test_permanent_blackout_exhausts_budget(self):
+        policy = RetryPolicy(
+            max_attempts=3,
+            base_backoff_seconds=0.5,
+            backoff_multiplier=2.0,
+            stall_timeout_seconds=2.0,
+        )
+        scheduler = TransferScheduler(
+            two_sites(),
+            faults=blackout_schedule(0.0, math.inf),
+            stall_timeout_seconds=policy.stall_timeout_seconds,
+        )
+        outcome = simulate_with_retries(
+            scheduler, [Transfer("a", "b", 50.0)], policy
+        )
+        [result] = outcome.results
+        assert result.failed
+        assert result.attempts == 3
+        assert outcome.retries == 2
+        assert outcome.delivered_bytes == 0.0
+        assert outcome.abandoned_bytes == 50.0
+        # attempts fail at 2.0, 4.5, 7.5 (0.5s then 1s backoff between).
+        assert result.finish_time == pytest.approx(7.5)
+
+    def test_mixed_batch_conserves_bytes(self):
+        policy = RetryPolicy(max_attempts=2, stall_timeout_seconds=2.0)
+        scheduler = TransferScheduler(
+            two_sites(),
+            faults=blackout_schedule(0.0, math.inf, site="b"),
+            stall_timeout_seconds=policy.stall_timeout_seconds,
+        )
+        outcome = simulate_with_retries(
+            scheduler,
+            [Transfer("a", "b", 30.0), Transfer("a", "a", 40.0)],
+            policy,
+        )
+        assert outcome.requested_bytes == 70.0
+        assert outcome.delivered_bytes == 40.0  # the intra-site one
+        assert outcome.abandoned_bytes == 30.0
+        assert (
+            outcome.delivered_bytes + outcome.abandoned_bytes
+            == outcome.requested_bytes
+        )
+
+    def test_retry_path_passes_sanitizer(self):
+        policy = RetryPolicy(max_attempts=2, stall_timeout_seconds=2.0)
+        scheduler = TransferScheduler(
+            two_sites(),
+            faults=blackout_schedule(0.0, math.inf),
+            stall_timeout_seconds=policy.stall_timeout_seconds,
+        )
+        with instrument.instrumented(sanitizer=Sanitizer(mode="raise")) as obs:
+            simulate_with_retries(
+                scheduler, [Transfer("a", "b", 10.0)], policy
+            )
+        assert obs.sanitizer.checks_run > 0
+        assert obs.sanitizer.violations == []
+
+    def test_empty_batch(self):
+        scheduler = TransferScheduler(two_sites())
+        outcome = simulate_with_retries(scheduler, [], RetryPolicy())
+        assert outcome.results == []
+        assert outcome.makespan_seconds == 0.0

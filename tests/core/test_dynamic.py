@@ -1,7 +1,11 @@
 """Dynamic-dataset protocol tests (§8.6)."""
 
+import math
+
 import pytest
 
+from repro.chaos.runtime import ChaosConfig
+from repro.chaos.schedule import FaultEvent, FaultSchedule
 from repro.core.dynamic import (
     DynamicRunResult,
     initial_workload_from_feeds,
@@ -103,6 +107,18 @@ class TestRunDynamic:
             run_dynamic(controller, workload, {"ghost": list(feeds.values())[0]},
                         num_queries=2)
 
+    def test_no_batch_after_final_query(self):
+        # Regression: data arriving after the last query has no consumer;
+        # the run must stop before applying (and placing) that batch.
+        result, _, feeds = self.run(num_queries=2, replan_every=3)
+        assert result.batches_applied == len(feeds)  # one gap, one batch each
+        assert not any(feed.exhausted for feed in feeds.values())
+
+    def test_single_query_applies_no_batches(self):
+        result, _, feeds = self.run(num_queries=1)
+        assert result.batches_applied == 0
+        assert len(result.qcts) == 1
+
     def test_dynamic_close_to_static_qct(self):
         """Table 7: dynamic QCT is very similar to the normal setting."""
         template = template_workload()
@@ -121,3 +137,45 @@ class TestRunDynamic:
         # Dynamic runs on growing (smaller) data, so its mean QCT must not
         # blow up past the static setting by more than a small factor.
         assert dynamic.mean_qct <= static_mean * 1.5 + 1e-6
+
+
+class TestDynamicUnderChaos:
+    def test_site_outage_triggers_fault_replan(self):
+        template = template_workload()
+        feeds = make_feeds(template)
+        workload = initial_workload_from_feeds(template, feeds)
+        dead = TOPOLOGY.site_names[2]
+        # The outage opens 5s into the first cycle; the cycle boundary
+        # sweep must catch it and replan over the survivors out of band.
+        chaos = ChaosConfig(
+            faults=FaultSchedule(
+                events=(FaultEvent("site-outage", dead, 5.0, math.inf),),
+                name="dynamic-outage",
+            )
+        )
+        controller = make_system("bohr-sim", TOPOLOGY, CONFIG, chaos=chaos)
+        result = run_dynamic(
+            controller, workload, feeds,
+            num_queries=3, replan_every=1, cycle_seconds=10.0,
+        )
+        assert result.fault_replans == 1
+        assert controller.degraded_replans == 1
+        assert controller._fractions is not None
+        assert controller._fractions.get(dead, 0.0) == 0.0
+        # The degraded replan replaces that cycle's scheduled replan:
+        # initial prepare + one boundary replan (the other was pre-empted).
+        assert result.replans == 2
+        assert len(result.qcts) == 3
+
+    def test_benign_chaos_config_changes_nothing(self):
+        template = template_workload()
+        feeds = make_feeds(template)
+        workload = initial_workload_from_feeds(template, feeds)
+        chaos = ChaosConfig(faults=FaultSchedule.empty())
+        controller = make_system("bohr-sim", TOPOLOGY, CONFIG, chaos=chaos)
+        result = run_dynamic(
+            controller, workload, feeds, num_queries=3, replan_every=3
+        )
+        assert result.fault_replans == 0
+        assert result.aborted_queries == 0
+        assert len(result.qcts) == 3

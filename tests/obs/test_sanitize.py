@@ -188,6 +188,110 @@ class TestMovementInvariants:
         assert any("scale factor" in v for v in sanitizer.violations)
 
 
+class TestFaultInvariants:
+    def test_lost_bytes_must_match_failed_transfers(self):
+        sanitizer = Sanitizer(mode="collect")
+        metrics = _site_metrics(lost_bytes=100.0)
+        sanitizer.check_job(_job_result(metrics=metrics))
+        assert any("fault-accounting" in v for v in sanitizer.violations)
+
+    def test_lost_bytes_backed_by_failed_transfer_pass(self):
+        sanitizer = Sanitizer(mode="raise")
+        metrics = _site_metrics(lost_bytes=100.0)
+        failed = SimpleNamespace(
+            transfer=SimpleNamespace(
+                src="oregon", dst="ireland", start_time=0.0, num_bytes=100.0
+            ),
+            finish_time=3.0,
+            failed=True,
+        )
+        sanitizer.check_job(_job_result(metrics=metrics, transfers=[failed]))
+        assert sanitizer.violations == []
+
+    def test_excluded_site_must_stay_idle(self):
+        sanitizer = Sanitizer(mode="collect")
+        metrics = _site_metrics(excluded=True)  # non-zero work everywhere
+        sanitizer.check_job(_job_result(metrics=metrics))
+        assert any("fault-exclusion" in v for v in sanitizer.violations)
+
+
+class TestRetryInvariants:
+    def _retry_result(self, **overrides):
+        base = dict(
+            transfer=SimpleNamespace(
+                src="oregon", dst="ireland", start_time=0.0, num_bytes=100.0
+            ),
+            finish_time=10.0,
+            attempts=1,
+            failed=False,
+        )
+        base.update(overrides)
+        return SimpleNamespace(**base)
+
+    def _outcome(self, results, **overrides):
+        delivered = sum(
+            r.transfer.num_bytes for r in results if not r.failed
+        )
+        abandoned = [r for r in results if r.failed]
+        base = dict(
+            results=list(results),
+            retries=sum(r.attempts - 1 for r in results),
+            abandoned=abandoned,
+            requested_bytes=sum(r.transfer.num_bytes for r in results),
+            delivered_bytes=delivered,
+            abandoned_bytes=sum(r.transfer.num_bytes for r in abandoned),
+        )
+        base.update(overrides)
+        return SimpleNamespace(**base)
+
+    def _policy(self, max_attempts=3):
+        return SimpleNamespace(max_attempts=max_attempts)
+
+    def test_consistent_outcome_passes(self):
+        sanitizer = Sanitizer(mode="raise")
+        outcome = self._outcome([
+            self._retry_result(),
+            self._retry_result(attempts=3, failed=True, finish_time=7.5),
+        ])
+        sanitizer.check_retry_outcome(outcome, self._policy())
+        assert sanitizer.violations == []
+        assert sanitizer.checks_run > 0
+
+    def test_unbalanced_bytes_fail(self):
+        sanitizer = Sanitizer(mode="collect")
+        outcome = self._outcome([self._retry_result()], delivered_bytes=60.0)
+        sanitizer.check_retry_outcome(outcome, self._policy())
+        assert any("retry-conservation" in v for v in sanitizer.violations)
+
+    def test_retry_counter_mismatch_fails(self):
+        sanitizer = Sanitizer(mode="collect")
+        outcome = self._outcome([self._retry_result(attempts=2)], retries=5)
+        sanitizer.check_retry_outcome(outcome, self._policy())
+        assert any("retry counter" in v for v in sanitizer.violations)
+
+    def test_attempts_over_budget_fail(self):
+        sanitizer = Sanitizer(mode="collect")
+        outcome = self._outcome([self._retry_result(attempts=9)])
+        sanitizer.check_retry_outcome(outcome, self._policy(max_attempts=3))
+        assert any("retry-budget" in v for v in sanitizer.violations)
+
+    def test_giving_up_early_fails(self):
+        sanitizer = Sanitizer(mode="collect")
+        outcome = self._outcome(
+            [self._retry_result(attempts=2, failed=True)]
+        )
+        sanitizer.check_retry_outcome(outcome, self._policy(max_attempts=4))
+        assert any("left unspent" in v for v in sanitizer.violations)
+
+    def test_backoff_cannot_run_the_clock_backwards(self):
+        sanitizer = Sanitizer(mode="collect")
+        result = self._retry_result(finish_time=-1.0)
+        sanitizer.check_retry_outcome(
+            self._outcome([result]), self._policy()
+        )
+        assert any("sim-clock" in v for v in sanitizer.violations)
+
+
 class TestNullTwin:
     def test_null_sanitizer_is_disabled_and_silent(self):
         assert NullSanitizer.enabled is False
@@ -195,6 +299,7 @@ class TestNullTwin:
         NULL_SANITIZER.check_job(None)
         NULL_SANITIZER.check_placement(None, None, None)
         NULL_SANITIZER.check_movement(None, 0.0)
+        NULL_SANITIZER.check_retry_outcome(None, None)
         assert NULL_SANITIZER.violations == ()
 
     def test_iter_violations_flattens(self):
