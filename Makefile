@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint determinism sanitize chaos test check
+.PHONY: lint determinism sanitize chaos test bench-smoke profile check
 
-lint:  ## static analysis: rules R001-R006 over the shipped tree
+lint:  ## static analysis: rules R001-R007 over the shipped tree
 	$(PYTHON) -m repro.lint src/repro benchmarks
 
 determinism:  ## two-run same-seed trace-digest determinism smoke
@@ -23,4 +23,12 @@ chaos:  ## fault-injected run (sanitized) + chaos determinism smoke
 test:  ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
 
-check: lint determinism sanitize chaos test  ## everything CI gates on
+bench-smoke:  ## smoke benchmarks vs the committed baseline (sim gate only)
+	$(PYTHON) -m repro bench --suite smoke --compare BENCH_1.json \
+		--ignore-wall --out bench_smoke.json
+
+profile:  ## smoke benchmarks under the wall profiler (collapsed stacks)
+	$(PYTHON) -m repro bench --suite smoke --profile \
+		--profile-out bench.collapsed
+
+check: lint determinism sanitize chaos test bench-smoke  ## everything CI gates on

@@ -17,7 +17,7 @@ fractions unchanged — r* depends only on the U/D ratio — which is why
 the asymmetric case is the interesting one.)
 """
 
-from common import bench_topology
+from common import bench_topology, register_bench
 from repro.placement.lp import solve_task_lp
 from repro.placement.model import PlacementProblem
 from repro.util.tabulate import format_table
@@ -114,3 +114,45 @@ def test_estimated_placement_beats_stale(benchmark):
     benchmark(lambda: real_network.makespan(
         shuffle_transfers(volumes, estimated_fractions)
     ))
+
+
+@register_bench(
+    "ablation-bandwidth-drift",
+    suites=("ablations",),
+    description="Shuffle makespan with stale vs estimated WAN bandwidths",
+)
+def bench_ablation_bandwidth_drift():
+    nominal = bench_topology()
+    real_network = TransferScheduler(congested_topology(nominal))
+    volumes = {site: 40e6 for site in nominal.site_names}
+
+    def problem_for(topo):
+        return PlacementProblem(
+            topology=topo,
+            input_bytes={"d": dict(volumes)},
+            reduction_ratio={"d": 1.0},
+            similarity={},
+            lag_seconds=8.0,
+        )
+
+    stale_fractions, _, _ = solve_task_lp(volumes, problem_for(nominal))
+    estimator = BandwidthEstimator(nominal, alpha=1.0)
+    probes = [
+        Transfer(DEGRADED_SITE, "oregon", 1e6, tag="probe"),
+        Transfer("oregon", DEGRADED_SITE, 1e6, tag="probe"),
+    ]
+    estimator.observe_transfers(real_network.simulate(probes))
+    estimated_fractions, _, _ = solve_task_lp(
+        volumes, problem_for(estimator.estimated_topology())
+    )
+    return {
+        "sim": {
+            "makespan_stale": real_network.makespan(
+                shuffle_transfers(volumes, stale_fractions)
+            ),
+            "makespan_estimated": real_network.makespan(
+                shuffle_transfers(volumes, estimated_fractions)
+            ),
+        },
+        "wall": {},
+    }

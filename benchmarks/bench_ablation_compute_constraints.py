@@ -8,10 +8,25 @@ unchanged, (b) starving one attractive site's compute pushes reduce
 tasks away from it and raises the optimal t.
 """
 
-from common import bench_topology
+from common import bench_topology, register_bench
 from repro.placement.lp import solve_task_lp
 from repro.placement.model import PlacementProblem
 from repro.util.tabulate import format_table
+
+
+@register_bench(
+    "ablation-compute-constraints",
+    suites=("ablations",),
+    description="Task LP optimum with free vs compute-starved sites",
+)
+def bench_ablation_compute_constraints():
+    free_problem, volumes = build_problem()
+    _, t_free, _ = solve_task_lp(volumes, free_problem)
+    starved = {site: 1e12 for site in free_problem.site_names}
+    starved["singapore"] = 5e6
+    capped_problem, _ = build_problem(starved)
+    _, t_capped, _ = solve_task_lp(volumes, capped_problem)
+    return {"sim": {"t_free": t_free, "t_capped": t_capped}, "wall": {}}
 
 
 def build_problem(compute=None):

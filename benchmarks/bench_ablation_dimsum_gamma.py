@@ -8,6 +8,7 @@ Shape: higher γ ⇒ fewer skips, lower error, more time.
 
 import time
 
+from common import bench_seed, register_bench
 from repro.similarity.dimsum import (
     DimsumConfig,
     dimsum_similarity_matrix,
@@ -20,8 +21,8 @@ from repro.util.tabulate import format_table
 GAMMAS = (0.5, 1.0, 2.0, 4.0, 16.0, 1e9)
 
 
-def build_partitions(count=24, keys_per=120, seed=5):
-    rng = derive_rng(seed, "dimsum-bench")
+def build_partitions(count=24, keys_per=120):
+    rng = derive_rng(bench_seed(), "dimsum-bench")
     partitions = []
     for index in range(count):
         base = (index // 4) * 200  # groups of 4 similar partitions
@@ -36,7 +37,9 @@ def sweep():
     rows = []
     stats_by_gamma = {}
     for gamma in GAMMAS:
-        config = DimsumConfig(gamma=gamma, num_hashes=128, seed=7, exact_below=0)
+        config = DimsumConfig(
+            gamma=gamma, num_hashes=128, seed=bench_seed(), exact_below=0
+        )
         # Wall-clock on purpose: measures DIMSUM checking cost vs gamma.
         started = time.perf_counter()  # lint: allow[R001]
         approx, stats = dimsum_similarity_matrix(partitions, config)
@@ -67,3 +70,20 @@ def test_gamma_tradeoff(benchmark):
     benchmark(lambda: dimsum_similarity_matrix(
         build_partitions(), DimsumConfig(gamma=4.0, num_hashes=128)
     ))
+
+
+@register_bench(
+    "ablation-dimsum-gamma",
+    suites=("ablations",),
+    description="DIMSUM gamma sweep: skip fraction, accuracy, wall time",
+)
+def bench_ablation_dimsum_gamma():
+    _rows, stats = sweep()
+    sim, wall = {}, {}
+    for gamma in (0.5, 4.0, 1e9):
+        skip_fraction, error, elapsed = stats[gamma]
+        # Lower-is-better convention: record examined (not skipped) pairs.
+        sim[f"examined_fraction.gamma{gamma:g}"] = 1.0 - skip_fraction
+        sim[f"similarity_mae.gamma{gamma:g}"] = error
+        wall[f"dimsum_seconds.gamma{gamma:g}"] = elapsed
+    return {"sim": sim, "wall": wall}

@@ -7,10 +7,33 @@ the paper's placement LPs; the bench compares their speed.
 
 import pytest
 
-from common import SEED, bench_config, bench_topology, workload_factory
+from common import bench_config, bench_topology, register_bench, workload_factory
 from repro.placement.lp import solve_data_lp, solve_task_lp
 from repro.placement.model import PlacementProblem
 from repro.util.tabulate import format_table
+
+
+@register_bench(
+    "ablation-lp-vs-simplex",
+    suites=("ablations", "smoke"),
+    description="LP backend agreement and solve time, scipy vs pure simplex",
+)
+def bench_ablation_lp_vs_simplex():
+    problem = build_problem()
+    volumes = {
+        site: problem.total_input_at(site) for site in problem.site_names
+    }
+    _, t_scipy, sol_scipy = solve_task_lp(volumes, problem, backend="scipy")
+    _, t_simplex, sol_simplex = solve_task_lp(
+        volumes, problem, backend="simplex"
+    )
+    return {
+        "sim": {"task_lp_t.scipy": t_scipy, "task_lp_t.simplex": t_simplex},
+        "wall": {
+            "solve_seconds.scipy": sol_scipy.solve_seconds,
+            "solve_seconds.simplex": sol_simplex.solve_seconds,
+        },
+    }
 
 
 def build_problem():

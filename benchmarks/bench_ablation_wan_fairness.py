@@ -8,15 +8,15 @@ the invariants (fair makespan bounded below by the busiest link's
 aggregate, and never worse than serial).
 """
 
-from common import bench_topology
+from common import bench_seed, bench_topology, register_bench
 from repro.util.rng import derive_rng
 from repro.util.tabulate import format_table
 from repro.wan.transfer import Transfer, TransferScheduler
 
 
-def build_shuffle(seed=9, mb=1024 * 1024):
+def build_shuffle(mb=1024 * 1024):
     topology = bench_topology()
-    rng = derive_rng(seed, "wan-bench")
+    rng = derive_rng(bench_seed(), "wan-bench")
     sites = topology.site_names
     transfers = []
     for src in sites:
@@ -57,3 +57,20 @@ def test_fair_vs_serial_makespan(benchmark):
     assert lower - 1e-6 <= fair <= serial + 1e-6
     assert serial / fair > 1.5  # the naive model overestimates a lot
     benchmark(lambda: scheduler.makespan(transfers))
+
+
+@register_bench(
+    "ablation-wan-fairness",
+    suites=("ablations", "smoke"),
+    description="Max-min fair vs serial shuffle makespan on the WAN model",
+)
+def bench_ablation_wan_fairness():
+    topology, transfers = build_shuffle()
+    scheduler = TransferScheduler(topology)
+    return {
+        "sim": {
+            "makespan_fair": scheduler.makespan(transfers),
+            "makespan_serial": scheduler.serial_time(transfers),
+        },
+        "wall": {},
+    }

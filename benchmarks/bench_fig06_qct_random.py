@@ -12,9 +12,20 @@ from common import (
     HEADLINE_SCHEMES,
     WORKLOAD_KINDS,
     WORKLOAD_LABELS,
+    qct_case,
+    register_bench,
     run_scheme,
 )
 from repro.core.report import render_qct_table
+
+
+@register_bench(
+    "fig06-qct-random",
+    suites=("figures",),
+    description="Headline schemes x five workloads, random placement",
+)
+def bench_fig06_qct_random():
+    return qct_case(HEADLINE_SCHEMES, WORKLOAD_KINDS, "random")
 
 
 @pytest.mark.parametrize("kind", WORKLOAD_KINDS)

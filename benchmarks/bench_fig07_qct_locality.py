@@ -10,9 +10,20 @@ from common import (
     HEADLINE_SCHEMES,
     WORKLOAD_KINDS,
     WORKLOAD_LABELS,
+    qct_case,
+    register_bench,
     run_scheme,
 )
 from repro.core.report import render_qct_table
+
+
+@register_bench(
+    "fig07-qct-locality",
+    suites=("figures",),
+    description="Headline schemes x five workloads, locality-aware placement",
+)
+def bench_fig07_qct_locality():
+    return qct_case(HEADLINE_SCHEMES, WORKLOAD_KINDS, "locality")
 
 
 @pytest.mark.parametrize("kind", WORKLOAD_KINDS)

@@ -6,7 +6,7 @@ negative at some receiving sites (similarity-agnostic movement inflates
 the intermediate data there).
 """
 
-from common import HEADLINE_SCHEMES, run_scheme
+from common import HEADLINE_SCHEMES, qct_case, register_bench, run_scheme
 from repro.core.report import render_reduction_table
 from repro.util.stats import mean
 from repro.util.tabulate import bar_chart
@@ -17,6 +17,15 @@ def gather(placement):
         run_scheme(scheme, "bigdata-aggregation", placement)
         for scheme in HEADLINE_SCHEMES
     ]
+
+
+@register_bench(
+    "fig08-reduction-random",
+    suites=("figures", "smoke"),
+    description="Headline schemes on bigdata-aggregation, random placement",
+)
+def bench_fig08_reduction_random():
+    return qct_case(HEADLINE_SCHEMES, ("bigdata-aggregation",), "random")
 
 
 def test_fig08_reduction_random(benchmark):

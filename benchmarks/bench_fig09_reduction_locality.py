@@ -4,9 +4,18 @@ Paper: Bohr's reduction is almost unchanged vs Figure 8, while Iridium
 and Iridium-C improve somewhat; the conclusion (Bohr far ahead) holds.
 """
 
-from common import HEADLINE_SCHEMES, run_scheme
+from common import HEADLINE_SCHEMES, qct_case, register_bench, run_scheme
 from repro.core.report import render_reduction_table
 from repro.util.stats import mean
+
+
+@register_bench(
+    "fig09-reduction-locality",
+    suites=("figures",),
+    description="Headline schemes on bigdata-aggregation, locality placement",
+)
+def bench_fig09_reduction_locality():
+    return qct_case(HEADLINE_SCHEMES, ("bigdata-aggregation",), "locality")
 
 
 def test_fig09_reduction_locality(benchmark):

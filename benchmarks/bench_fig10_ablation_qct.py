@@ -8,9 +8,25 @@ joint placement the strongest single addition.
 
 import pytest
 
-from common import ABLATION_SCHEMES, WORKLOAD_KINDS, WORKLOAD_LABELS, run_scheme
+from common import (
+    ABLATION_SCHEMES,
+    WORKLOAD_KINDS,
+    WORKLOAD_LABELS,
+    qct_case,
+    register_bench,
+    run_scheme,
+)
 from repro.core.report import render_qct_table
 from repro.util.stats import mean
+
+
+@register_bench(
+    "fig10-ablation-qct",
+    suites=("figures",),
+    description="Component ablation schemes x five workloads, random placement",
+)
+def bench_fig10_ablation_qct():
+    return qct_case(ABLATION_SCHEMES, WORKLOAD_KINDS, "random")
 
 
 @pytest.mark.parametrize("kind", WORKLOAD_KINDS)

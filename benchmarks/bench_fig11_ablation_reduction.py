@@ -6,9 +6,18 @@ equal to Bohr-Sim in *reduction* (it speeds up execution, not shuffle
 volume).
 """
 
-from common import ABLATION_SCHEMES, run_scheme
+from common import ABLATION_SCHEMES, qct_case, register_bench, run_scheme
 from repro.core.report import render_reduction_table
 from repro.util.stats import mean
+
+
+@register_bench(
+    "fig11-ablation-reduction",
+    suites=("figures",),
+    description="Component ablation on bigdata-aggregation, random placement",
+)
+def bench_fig11_ablation_reduction():
+    return qct_case(ABLATION_SCHEMES, ("bigdata-aggregation",), "random")
 
 
 def gather():

@@ -5,7 +5,12 @@ estimates) and is only marginally better at k=100.  Workloads:
 big-data (UDF), TPC-DS, Facebook.
 """
 
-from common import run_scheme
+from common import (
+    experiment_sim_metrics,
+    experiment_wall_metrics,
+    register_bench,
+    run_scheme,
+)
 from repro.util.stats import mean
 from repro.util.tabulate import format_table
 
@@ -16,6 +21,22 @@ KINDS = ("bigdata-udf", "tpcds", "facebook")
 def reduction_for(kind, k):
     result = run_scheme("bohr", kind, "random", probe_k=k)
     return mean(result.data_reduction_by_site().values())
+
+
+@register_bench(
+    "fig12-probe-k",
+    suites=("figures",),
+    description="Bohr at probe sizes k=10/30/100 across three workloads",
+)
+def bench_fig12_probe_k():
+    sim, wall = {}, {}
+    for kind in KINDS:
+        for k in (10, 30, 100):
+            result = run_scheme("bohr", kind, "random", probe_k=k)
+            label = f"bohr.{kind}.k{k}"
+            sim.update(experiment_sim_metrics(result, label))
+            wall.update(experiment_wall_metrics(result, label))
+    return {"sim": sim, "wall": wall}
 
 
 def test_fig12_probe_k_reduction(benchmark):

@@ -6,6 +6,10 @@ Paper: QCT shrinks with k up to 30, then flattens; k=30 is the default.
 from common import run_scheme
 from repro.util.tabulate import format_table
 
+# Harness note: no register_bench hook here — the experiments are the same
+# (scheme, kind, k) grid as bench_fig12_probe_k_reduction.py, and that
+# script's "fig12-probe-k" case already records QCT for each cell.
+
 K_VALUES = (10, 15, 20, 25, 30, 100)
 KINDS = ("bigdata-udf", "tpcds", "facebook")
 

@@ -6,7 +6,7 @@ and per-dataset similarity checking time grows with the records allotted
 and with dimensionality.
 """
 
-from common import bench_topology
+from common import bench_seed, register_bench
 from repro.olap.dimension_cube import DimensionCubeSet
 from repro.similarity.checker import SimilarityChecker
 from repro.similarity.probes import ProbeBuilder
@@ -25,9 +25,9 @@ SAMPLES = (
 )
 
 
-def build_cube_set(dataset_id, dims, records=400, seed=3):
+def build_cube_set(dataset_id, dims, records=400, variant="origin"):
     schema = Schema.of(*[f"a{i}" for i in range(dims)])
-    rng = derive_rng(seed, "tab2", dataset_id)
+    rng = derive_rng(bench_seed(), "tab2", dataset_id, variant)
     rows = [
         Record(tuple(f"v{int(rng.integers(0, 12))}" for _ in range(dims)))
         for _ in range(records)
@@ -56,7 +56,7 @@ def test_tab2_probe_allocation_and_checking(benchmark):
             {(schema.names[0], schema.names[1]): 1.0},
             k=allocation[dataset_id],
         )
-        target, _ = build_cube_set(dataset_id, dims, seed=4)
+        target, _ = build_cube_set(dataset_id, dims, variant="target")
         result = checker.check(probe, "target", target)
         times[dataset_id] = result.elapsed_seconds
         rows.append(
@@ -82,5 +82,36 @@ def test_tab2_probe_allocation_and_checking(benchmark):
         "3", "origin", cube_set,
         {(schema.names[0], schema.names[1]): 1.0}, k=allocation["3"],
     )
-    target, _ = build_cube_set("3", 42, seed=4)
+    target, _ = build_cube_set("3", 42, variant="target")
     benchmark(lambda: SimilarityChecker().check(probe, "t", target))
+
+
+@register_bench(
+    "tab2-probe-allocation",
+    suites=("tables",),
+    description="Probe budget split over Table 2's datasets, plus check times",
+)
+def bench_tab2_probe_allocation():
+    builder = ProbeBuilder(k=30)
+    allocation = builder.allocate_across_datasets(
+        {dataset_id: size for dataset_id, _dims, size in SAMPLES}
+    )
+    sim = {
+        f"probe_records.dataset{dataset_id}": allocation[dataset_id]
+        for dataset_id, _dims, _size in SAMPLES
+    }
+    checker = SimilarityChecker()
+    wall = {}
+    for dataset_id, dims, _size in SAMPLES:
+        cube_set, schema = build_cube_set(dataset_id, dims)
+        probe = builder.build(
+            dataset_id,
+            "origin",
+            cube_set,
+            {(schema.names[0], schema.names[1]): 1.0},
+            k=allocation[dataset_id],
+        )
+        target, _ = build_cube_set(dataset_id, dims, variant="target")
+        result = checker.check(probe, "target", target)
+        wall[f"check_seconds.dataset{dataset_id}"] = result.elapsed_seconds
+    return {"sim": sim, "wall": wall}

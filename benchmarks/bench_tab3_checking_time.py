@@ -11,6 +11,7 @@ import time
 
 import pytest
 
+from common import bench_seed, register_bench
 from repro.olap.dimension_cube import DimensionCubeSet
 from repro.similarity.checker import SimilarityChecker
 from repro.similarity.probes import ProbeBuilder
@@ -22,8 +23,8 @@ K_VALUES = (10, 15, 20, 25, 30, 100)
 SCHEMA = Schema.of("url", "date", "region", "agent")
 
 
-def build_cube_set(seed, records=3000):
-    rng = derive_rng(seed, "tab3")
+def build_cube_set(variant, records=3000):
+    rng = derive_rng(bench_seed(), "tab3", variant)
     rows = [
         Record(
             (
@@ -56,7 +57,7 @@ def check_time_for(k, origin, targets, repeats=5):
 
 def test_tab3_checking_time_monotone_in_k(benchmark):
     origin = build_cube_set(1)
-    targets = [build_cube_set(seed) for seed in range(2, 11)]  # 9 other sites
+    targets = [build_cube_set(variant) for variant in range(2, 11)]  # 9 sites
     times = {k: check_time_for(k, origin, targets) for k in K_VALUES}
     print()
     print(format_table(
@@ -70,3 +71,18 @@ def test_tab3_checking_time_monotone_in_k(benchmark):
     # And well within any realistic pre-processing window.
     assert times[100] < 5.0
     benchmark(lambda: check_time_for(30, origin, targets, repeats=1))
+
+
+@register_bench(
+    "tab3-checking-time",
+    suites=("tables",),
+    description="Similarity-check wall time vs probe size k over ten sites",
+)
+def bench_tab3_checking_time():
+    origin = build_cube_set(1)
+    targets = [build_cube_set(variant) for variant in range(2, 11)]
+    wall = {
+        f"check_seconds.k{k}": check_time_for(k, origin, targets, repeats=3)
+        for k in (10, 30, 100)
+    }
+    return {"sim": {}, "wall": wall}

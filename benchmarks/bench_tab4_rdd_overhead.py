@@ -6,7 +6,7 @@ Reproduced shape: overhead grows with executor count; QCT improves with
 parallelism and the overhead never dominates it.
 """
 
-from common import SEED, bench_config
+from common import bench_config, bench_seed, register_bench
 from repro import ec2_ten_sites, make_system
 from repro.util.tabulate import format_table
 from repro.workloads.base import WorkloadSpec
@@ -15,22 +15,44 @@ from repro.workloads.tpcds import tpcds_workload
 EXECUTOR_COUNTS = (2, 4, 6, 8)
 
 
-def run_with_executors(executors):
+def run_with_executors(executors, charge_rdd_overhead=True):
     topology = ec2_ten_sites(
         base_uplink="2MB/s", machines=1, executors_per_machine=executors
     )
     workload = tpcds_workload(
         topology,
-        seed=SEED,
+        seed=bench_seed(),
         spec=WorkloadSpec(records_per_site=100, record_bytes=512 * 1024,
                           num_datasets=2),
     )
-    controller = make_system("bohr-rdd", topology, bench_config(partition_records=4))
+    controller = make_system(
+        "bohr-rdd",
+        topology,
+        bench_config(
+            partition_records=4, charge_rdd_overhead=charge_rdd_overhead
+        ),
+    )
     controller.prepare(workload)
     jobs = controller.run_all_queries(workload, limit=4)
     overhead = sum(job.total_rdd_overhead_seconds for job in jobs) / len(jobs)
     qct = sum(job.qct for job in jobs) / len(jobs)
     return overhead, qct
+
+
+@register_bench(
+    "tab4-rdd-overhead",
+    suites=("tables",),
+    description="RDD similarity-check overhead and QCT vs executors per node",
+)
+def bench_tab4_rdd_overhead():
+    sim, wall = {}, {}
+    for executors in EXECUTOR_COUNTS:
+        # Uncharged QCT keeps the sim metric deterministic; the overhead
+        # itself is a host-machine timing and goes in the wall group.
+        overhead, qct = run_with_executors(executors, charge_rdd_overhead=False)
+        sim[f"qct.executors{executors}"] = qct
+        wall[f"rdd_overhead_seconds.executors{executors}"] = overhead
+    return {"sim": sim, "wall": wall}
 
 
 def test_tab4_rdd_overhead(benchmark):

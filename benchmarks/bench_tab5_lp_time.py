@@ -6,8 +6,27 @@ recurring executions.  Reproduced shape: every workload's planner time is
 positive, bounded, and small relative to the lag window.
 """
 
-from common import WORKLOAD_KINDS, WORKLOAD_LABELS, bench_config, run_scheme
+from common import (
+    WORKLOAD_KINDS,
+    WORKLOAD_LABELS,
+    bench_config,
+    register_bench,
+    run_scheme,
+)
 from repro.util.tabulate import format_table
+
+
+@register_bench(
+    "tab5-lp-time",
+    suites=("tables",),
+    description="Joint-placement LP solve wall time for Bohr per workload",
+)
+def bench_tab5_lp_time():
+    wall = {}
+    for kind in WORKLOAD_KINDS:
+        result = run_scheme("bohr", kind, "random")
+        wall[f"lp_seconds.{kind}"] = result.prep.lp_solve_seconds
+    return {"sim": {}, "wall": wall}
 
 
 def test_tab5_lp_solving_time(benchmark):

@@ -8,7 +8,7 @@ the query lag.
 
 import pytest
 
-from common import SEED, bench_config, bench_topology, workload_factory
+from common import bench_config, bench_topology, register_bench, workload_factory
 from repro import make_system
 from repro.core.dynamic import initial_workload_from_feeds, run_dynamic
 from repro.util.stats import mean
@@ -19,9 +19,9 @@ KINDS = ("tpcds", "facebook", "bigdata-aggregation")
 NUM_QUERIES = 8
 
 
-def run_pair(kind):
+def run_pair(kind, charge_rdd_overhead=True):
     topology = bench_topology()
-    config = bench_config()
+    config = bench_config(charge_rdd_overhead=charge_rdd_overhead)
 
     # Dynamic: 25% initial + 15 batches (the paper's 10GB + 2GB shape).
     template = workload_factory(kind)()
@@ -47,6 +47,21 @@ def run_pair(kind):
         for query in normal_workload.queries[:NUM_QUERIES]
     ]
     return mean(job.qct for job in normal_jobs), dynamic.mean_qct
+
+
+@register_bench(
+    "tab7-dynamic",
+    suites=("tables",),
+    description="Bohr QCT with batched dynamic arrivals vs the static setting",
+)
+def bench_tab7_dynamic():
+    sim = {}
+    for kind in KINDS:
+        # Uncharged RDD overhead keeps these QCTs on the pure sim clock.
+        normal, dynamic = run_pair(kind, charge_rdd_overhead=False)
+        sim[f"qct_normal.{kind}"] = normal
+        sim[f"qct_dynamic.{kind}"] = dynamic
+    return {"sim": sim, "wall": {}}
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,44 @@
+"""Continuous benchmarking: harness, schema, and perf-regression gates.
+
+The ``benchmarks/bench_*.py`` scripts reproduce the paper's figures and
+tables; this package turns them into a *perf trajectory*.  Each script
+registers one or more :class:`~repro.bench.registry.BenchCase` hooks
+returning the simulation-clock metrics the paper reports (QCT seconds,
+WAN bytes shuffled, solver time); the harness runs a suite of cases with
+a pinned seed, times each case on the wall clock (warmup + repeats,
+median/stdev), and emits a versioned ``BENCH_<n>.json`` that
+``repro bench --compare`` diffs against with per-metric tolerance bands
+(tight for deterministic sim-time, loose for wall time), exiting nonzero
+on regressions.  See DESIGN.md "Benchmark report schema".
+"""
+
+from repro.bench.registry import (
+    BenchCase,
+    all_cases,
+    bench_seed,
+    cases_for,
+    register_bench,
+    register_reset_hook,
+    set_bench_seed,
+)
+from repro.bench.schema import SCHEMA_VERSION, load_report, save_report
+from repro.bench.compare import CompareReport, MetricDelta, compare_reports
+from repro.bench.harness import SUITES, run_suite
+
+__all__ = [
+    "BenchCase",
+    "CompareReport",
+    "MetricDelta",
+    "SCHEMA_VERSION",
+    "SUITES",
+    "all_cases",
+    "bench_seed",
+    "cases_for",
+    "compare_reports",
+    "load_report",
+    "register_bench",
+    "register_reset_hook",
+    "run_suite",
+    "save_report",
+    "set_bench_seed",
+]

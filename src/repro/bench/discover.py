@@ -1,0 +1,70 @@
+"""Benchmark-script discovery.
+
+The suite lives in ``benchmarks/bench_*.py`` at the repository root; the
+scripts double as pytest regression tests (shape assertions) and as
+harness benchmark providers (their ``register_bench`` hooks run at
+import).  Discovery imports every script once — re-importing would
+re-register cases — and leaves the registry holding the union of all
+hooks.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.registry import BenchCase, all_cases
+from repro.errors import BenchError
+
+
+def default_benchmarks_dir() -> Path:
+    """Locate ``benchmarks/``: ``$REPRO_BENCH_DIR``, else ``./benchmarks``."""
+    env = os.environ.get("REPRO_BENCH_DIR")
+    if env:
+        return Path(env)
+    return Path.cwd() / "benchmarks"
+
+
+def discover(benchmarks_dir: Optional[str] = None) -> List[BenchCase]:
+    """Import every ``bench_*.py`` under the directory; return all cases."""
+    directory = (
+        Path(benchmarks_dir) if benchmarks_dir else default_benchmarks_dir()
+    )
+    if not directory.is_dir():
+        raise BenchError(
+            f"benchmarks directory not found: {directory} (run from the "
+            "repository root, or set REPRO_BENCH_DIR / --benchmarks-dir)"
+        )
+    scripts = sorted(directory.glob("bench_*.py"))
+    if not scripts:
+        raise BenchError(f"no bench_*.py scripts under {directory}")
+    # Scripts do `from common import ...`; make the directory importable.
+    dir_str = str(directory.resolve())
+    if dir_str not in sys.path:
+        sys.path.insert(0, dir_str)
+    for script in scripts:
+        name = script.stem
+        if name in sys.modules:
+            continue  # already imported; its cases are registered
+        spec = importlib.util.spec_from_file_location(name, script)
+        if spec is None or spec.loader is None:
+            raise BenchError(f"cannot load benchmark script {script}")
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[name] = module
+        try:
+            spec.loader.exec_module(module)
+        except Exception as error:  # lint: allow[R006] — import boundary: any error in user script code becomes a typed BenchError (re-raised)
+            del sys.modules[name]
+            raise BenchError(
+                f"importing {script.name} failed: {error}"
+            ) from error
+    cases = all_cases()
+    if not cases:
+        raise BenchError(
+            f"no benchmark cases registered by {len(scripts)} scripts "
+            f"under {directory} — are the register_bench hooks missing?"
+        )
+    return cases

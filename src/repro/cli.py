@@ -22,7 +22,7 @@ trace-event format), ``--metrics FILE`` (metrics snapshot JSON) and
 sim-clock monotonicity, LP feasibility — non-zero exit on violation);
 ``inspect`` renders a saved JSONL trace as a per-stage latency
 breakdown and can convert it to the Chrome format; ``lint`` runs the
-project's simulation-aware static analysis (rules R001–R006) and the
+project's simulation-aware static analysis (rules R001–R007) and the
 two-run ``--determinism`` smoke.  ``--chaos PROFILE`` (with
 ``--chaos-seed``) injects a deterministic fault schedule — degraded and
 blacked-out links, site outages, stragglers, lost task waves — and runs
@@ -33,6 +33,23 @@ backoff, degraded replanning, partial results)::
     python -m repro lint --determinism
     python -m repro run --scheme bohr --sanitize
     python -m repro run --scheme bohr --chaos flaky-wan --sanitize
+
+``bench`` is the continuous-benchmarking harness: it discovers the
+``benchmarks/bench_*.py`` suite (or a curated ``--suite
+smoke|figures|tables|ablations`` subset), runs every registered case
+with a pinned seed, and writes a versioned ``BENCH_<n>.json``;
+``--compare BASELINE.json`` re-runs the suite and gates on per-metric
+tolerance bands (tight for sim-time, loose for wall time).  ``--profile``
+(on ``run``, ``compare`` and ``bench``) enables the two-clock profiler:
+a QCT breakdown attributing each query's completion time across stages,
+plus cProfile wall-clock hotspots with a collapsed-stack export
+(``--profile-out``, flamegraph-renderable); ``inspect --breakdown``
+prints the same QCT attribution for a saved trace::
+
+    python -m repro bench --suite smoke --out BENCH_smoke.json
+    python -m repro bench --suite smoke --compare BENCH_smoke.json
+    python -m repro run --scheme bohr --profile
+    python -m repro inspect trace.jsonl --breakdown
 """
 
 from __future__ import annotations
@@ -122,6 +139,14 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--chaos-seed", type=int, default=13,
                          help="seed deriving the fault schedule "
                          "(same seed => identical faults)")
+        cmd.add_argument("--profile", action="store_true",
+                         help="two-clock profiler: print the QCT stage "
+                         "breakdown and collect wall-clock hotspots with "
+                         "a collapsed-stack export")
+        cmd.add_argument("--profile-out", metavar="FILE",
+                         default="profile.collapsed",
+                         help="collapsed-stack file for --profile "
+                         "(default: profile.collapsed)")
 
     inspect_cmd = commands.add_parser(
         "inspect", help="per-stage latency breakdown of a saved trace"
@@ -131,12 +156,24 @@ def build_parser() -> argparse.ArgumentParser:
     inspect_cmd.add_argument("--chrome", metavar="FILE",
                              help="also convert the trace to Chrome "
                              "trace-event format")
+    inspect_cmd.add_argument("--breakdown", action="store_true",
+                             help="print the per-stage QCT attribution "
+                             "table (percentages sum to 100)")
+
+    from repro.bench.cli import add_bench_arguments
+
+    bench_cmd = commands.add_parser(
+        "bench",
+        help="continuous-benchmarking harness: run suites, emit "
+        "BENCH_<n>.json, gate on regressions",
+    )
+    add_bench_arguments(bench_cmd)
 
     from repro.lint.cli import add_lint_arguments
 
     lint_cmd = commands.add_parser(
         "lint",
-        help="simulation-aware static analysis (R001-R006) + "
+        help="simulation-aware static analysis (R001-R007) + "
         "determinism smoke",
     )
     add_lint_arguments(lint_cmd)
@@ -190,7 +227,7 @@ def _print_result(result: ExperimentResult) -> None:
 
 
 def _wants_observability(args: argparse.Namespace) -> bool:
-    return bool(args.trace or args.chrome_trace or args.metrics)
+    return bool(args.trace or args.chrome_trace or args.metrics or args.profile)
 
 
 def _export_observability(args: argparse.Namespace, obs) -> None:
@@ -239,10 +276,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         spans = load_jsonl(args.trace)
         print(render_inspection(spans, source=args.trace))
+        if args.breakdown:
+            from repro.obs.profile import qct_breakdown, render_breakdown
+
+            print()
+            print(render_breakdown(qct_breakdown(spans)))
         if args.chrome:
             export_chrome(spans, args.chrome)
             print(f"\nChrome trace written to {args.chrome}")
         return 0
+
+    if args.command == "bench":
+        from repro.bench.cli import run_bench
+        from repro.errors import BenchError
+
+        try:
+            return run_bench(args)
+        except BenchError as error:
+            print(f"bench error: {error}")
+            return 2
 
     if args.command == "lint":
         from repro.lint.cli import run_lint
@@ -256,6 +308,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     obs = None
     sanitizer = None
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import WallProfiler
+
+        profiler = WallProfiler()
     if args.sanitize or _wants_observability(args):
         from repro.obs import instrument
 
@@ -264,7 +321,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
             sanitizer = Sanitizer(mode="collect")
         with instrument.instrumented(sanitizer=sanitizer) as obs:
-            results = [_experiment(scheme, args) for scheme in schemes]
+            if profiler is not None:
+                with profiler:
+                    results = [_experiment(scheme, args) for scheme in schemes]
+            else:
+                results = [_experiment(scheme, args) for scheme in schemes]
     else:
         results = [_experiment(scheme, args) for scheme in schemes]
 
@@ -281,6 +342,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         save_results(results, args.json)
         print(f"\nresults written to {args.json}")
+    if profiler is not None and obs is not None:
+        from repro.obs.profile import qct_breakdown, render_breakdown
+
+        print()
+        print(render_breakdown(qct_breakdown(obs.tracer.spans)))
+        print()
+        print(profiler.render_hotspots(limit=15))
+        stack_lines = profiler.write_collapsed(args.profile_out)
+        print(
+            f"collapsed stacks written to {args.profile_out} "
+            f"({stack_lines} lines)"
+        )
     if obs is not None and _wants_observability(args):
         print()
         _export_observability(args, obs)

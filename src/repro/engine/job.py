@@ -282,6 +282,7 @@ class MapReduceEngine:
                     sim_end=site_metrics.map_finish,
                     site=site,
                     input_records=site_metrics.input_records,
+                    map_output_bytes=site_metrics.map_output_bytes,
                     intermediate_bytes=site_metrics.intermediate_bytes,
                     rdd_overhead_seconds=site_metrics.rdd_overhead_seconds,
                 )

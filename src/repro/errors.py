@@ -67,3 +67,7 @@ class FaultError(ReproError):
 
 class TransferAbandoned(ReproError):
     """Raised when a transfer exhausts its retry budget under chaos."""
+
+
+class BenchError(ReproError):
+    """Raised by the benchmark harness (bad cases, malformed reports)."""

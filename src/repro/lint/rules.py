@@ -1,4 +1,4 @@
-"""The determinism/correctness rule pack (R001–R006).
+"""The determinism/correctness rule pack (R001–R007).
 
 Each rule encodes one clause of the repo's simulation contract (see
 DESIGN.md "Determinism & invariants contract"):
@@ -20,6 +20,11 @@ DESIGN.md "Determinism & invariants contract"):
 * **R005** — no mutable default arguments (shared across calls).
 * **R006** — no bare or blanket ``except`` (swallows the typed
   :class:`~repro.errors.ReproError` hierarchy and real bugs alike).
+* **R007** — no hard-coded seeds in benchmark scripts (files under a
+  ``benchmarks`` directory).  The harness owns the seed
+  (:func:`repro.bench.bench_seed`); a literal ``SEED = 3`` or
+  ``seed=7`` pins part of the suite to a private randomness universe
+  that ``repro bench --seed`` cannot shift.
 """
 
 from __future__ import annotations
@@ -349,3 +354,66 @@ class BlanketExceptRule(LintRule):
             name = context.qualified_name(item)
             if name:
                 yield name
+
+
+# ----------------------------------------------------------------------
+# R007 — hard-coded seeds in benchmark scripts
+# ----------------------------------------------------------------------
+
+_R007_HINT = (
+    "benchmarks take their seed from the harness — use "
+    "repro.bench.bench_seed() (or derive a sub-stream from it)"
+)
+
+
+def _is_int_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    )
+
+
+@register
+class HardCodedBenchSeedRule(LintRule):
+    rule_id = "R007"
+    title = "hard-coded seed in a benchmark script"
+    node_types = (ast.Assign, ast.Call, ast.FunctionDef, ast.AsyncFunctionDef)
+
+    @staticmethod
+    def _in_benchmarks(context: LintContext) -> bool:
+        normalized = context.path.replace("\\", "/")
+        return "benchmarks" in normalized.split("/")[:-1]
+
+    def check(self, node: ast.AST, context: LintContext) -> _CheckResult:
+        if not self._in_benchmarks(context):
+            return
+        if isinstance(node, ast.Assign):
+            if not _is_int_literal(node.value):
+                return
+            for target in node.targets:
+                if isinstance(target, ast.Name) and "seed" in target.id.lower():
+                    yield node, (
+                        f"literal seed constant {target.id} — " + _R007_HINT
+                    )
+            return
+        if isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if keyword.arg == "seed" and _is_int_literal(keyword.value):
+                    yield keyword.value, ("literal seed= argument — " + _R007_HINT)
+            return
+        # Function definitions: a `seed` parameter with an int default.
+        args = node.args
+        positional = args.posonlyargs + args.args
+        for arg, default in zip(
+            positional[len(positional) - len(args.defaults):], args.defaults
+        ):
+            if arg.arg == "seed" and _is_int_literal(default):
+                yield default, ("literal default for seed= — " + _R007_HINT)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None and arg.arg == "seed" and _is_int_literal(
+                default
+            ):
+                yield default, ("literal default for seed= — " + _R007_HINT)

@@ -1,0 +1,25 @@
+"""Registry isolation for the bench-harness tests.
+
+The case registry is process-global (benchmark scripts register at
+import); tests snapshot and restore it so they can register throwaway
+cases without clobbering anything a previous test (or a discovery run)
+registered.
+"""
+
+import pytest
+
+from repro.bench import registry
+
+
+@pytest.fixture
+def clean_registry():
+    saved_cases = dict(registry._CASES)
+    saved_hooks = list(registry._RESET_HOOKS)
+    registry.clear_registry()
+    try:
+        yield
+    finally:
+        registry.clear_registry()
+        registry._CASES.update(saved_cases)
+        registry._RESET_HOOKS.extend(saved_hooks)
+        registry.set_bench_seed(None)

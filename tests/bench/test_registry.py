@@ -1,0 +1,130 @@
+"""Registry + harness-owned seed behavior."""
+
+import pytest
+
+from repro.bench import registry
+from repro.bench.registry import (
+    BenchCase,
+    all_cases,
+    bench_seed,
+    cases_for,
+    register_bench,
+    register_reset_hook,
+    reset_caches,
+    set_bench_seed,
+)
+from repro.errors import BenchError
+
+
+class TestSeed:
+    def test_default_seed(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SEED", raising=False)
+        set_bench_seed(None)
+        assert bench_seed() == 11
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEED", "42")
+        set_bench_seed(None)
+        assert bench_seed() == 42
+
+    def test_env_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEED", "not-a-seed")
+        set_bench_seed(None)
+        with pytest.raises(BenchError, match="not an integer"):
+            bench_seed()
+
+    def test_active_seed_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEED", "42")
+        set_bench_seed(7)
+        try:
+            assert bench_seed() == 7
+        finally:
+            set_bench_seed(None)
+        assert bench_seed() == 42
+
+
+class TestRegistration:
+    def test_register_and_sort(self, clean_registry):
+        @register_bench("zz-case", suites=("smoke",))
+        def case_z():
+            return {"sim": {"m": 1.0}}
+
+        @register_bench("aa-case", suites=("figures",))
+        def case_a():
+            return {"sim": {"m": 2.0}}
+
+        names = [case.name for case in all_cases()]
+        assert names == ["aa-case", "zz-case"]
+
+    def test_duplicate_name_raises(self, clean_registry):
+        @register_bench("case")
+        def first():
+            return {"sim": {"m": 1.0}}
+
+        with pytest.raises(BenchError, match="duplicate"):
+            @register_bench("case")
+            def second():
+                return {"sim": {"m": 2.0}}
+
+    def test_suite_filtering(self, clean_registry):
+        @register_bench("a", suites=("smoke", "figures"))
+        def case_a():
+            return {"sim": {"m": 1.0}}
+
+        @register_bench("b", suites=("tables",))
+        def case_b():
+            return {"sim": {"m": 2.0}}
+
+        assert [c.name for c in cases_for("smoke")] == ["a"]
+        assert [c.name for c in cases_for("tables")] == ["b"]
+        assert [c.name for c in cases_for("full")] == ["a", "b"]
+
+    def test_empty_suite_raises(self, clean_registry):
+        @register_bench("a", suites=("smoke",))
+        def case_a():
+            return {"sim": {"m": 1.0}}
+
+        with pytest.raises(BenchError, match="selected no cases"):
+            cases_for("nonexistent")
+
+    def test_reset_hooks_run(self, clean_registry):
+        calls = []
+        register_reset_hook(lambda: calls.append(1))
+        reset_caches()
+        reset_caches()
+        assert len(calls) == 2
+
+
+class TestCollect:
+    def _case(self, fn):
+        return BenchCase(name="c", fn=fn, suites=())
+
+    def test_numeric_coercion(self):
+        case = self._case(lambda: {"sim": {"count": 3}, "wall": {"t": 0.5}})
+        metrics = case.collect()
+        assert metrics["sim"]["count"] == 3.0
+        assert isinstance(metrics["sim"]["count"], float)
+
+    def test_unknown_group_rejected(self):
+        case = self._case(lambda: {"sim": {}, "bogus": {"m": 1.0}})
+        with pytest.raises(BenchError, match="unknown metric groups"):
+            case.collect()
+
+    def test_non_mapping_rejected(self):
+        case = self._case(lambda: [1, 2, 3])
+        with pytest.raises(BenchError, match="expected a mapping"):
+            case.collect()
+
+    def test_non_numeric_metric_rejected(self):
+        case = self._case(lambda: {"sim": {"m": "fast"}})
+        with pytest.raises(BenchError, match="not numeric"):
+            case.collect()
+
+    def test_no_metrics_rejected(self):
+        case = self._case(lambda: {"sim": {}, "wall": {}})
+        with pytest.raises(BenchError, match="no metrics"):
+            case.collect()
+
+    def test_missing_group_defaults_empty(self):
+        case = self._case(lambda: {"sim": {"m": 1.0}})
+        assert case.collect()["wall"] == {}

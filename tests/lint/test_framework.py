@@ -21,9 +21,11 @@ REPO_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         ids = sorted(rule.rule_id for rule in all_rules())
-        assert ids == ["R001", "R002", "R003", "R004", "R005", "R006"]
+        assert ids == [
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+        ]
 
     def test_rules_for_none_returns_all(self):
         assert len(rules_for(None)) == len(all_rules())

@@ -189,6 +189,56 @@ class TestR006BlanketExcept:
         assert _rule_ids(source) == []
 
 
+class TestR007HardCodedBenchSeed:
+    BENCH_PATH = "benchmarks/bench_demo.py"
+
+    def _bench_ids(self, source):
+        return [
+            f.rule_id
+            for f in lint_source(textwrap.dedent(source), path=self.BENCH_PATH)
+        ]
+
+    def test_seed_constant_fires(self):
+        assert self._bench_ids("SEED = 11\n") == ["R007"]
+        assert self._bench_ids("MY_SEED = 3\n") == ["R007"]
+
+    def test_seed_kwarg_fires(self):
+        assert self._bench_ids("build(seed=7)\n") == ["R007"]
+
+    def test_negative_seed_kwarg_fires(self):
+        assert self._bench_ids("build(seed=-2)\n") == ["R007"]
+
+    def test_seed_default_fires(self):
+        assert self._bench_ids("def build(seed=4):\n    pass\n") == ["R007"]
+
+    def test_kwonly_seed_default_fires(self):
+        assert self._bench_ids("def build(*, seed=4):\n    pass\n") == ["R007"]
+
+    def test_seed_none_default_is_fine(self):
+        assert self._bench_ids("def build(seed=None):\n    pass\n") == []
+
+    def test_harness_seed_is_fine(self):
+        source = """
+        from repro.bench import bench_seed
+        build(seed=bench_seed())
+        """
+        assert self._bench_ids(source) == []
+
+    def test_non_seed_literals_are_fine(self):
+        assert self._bench_ids("COUNT = 11\nbuild(records=4)\n") == []
+
+    def test_only_fires_under_a_benchmarks_directory(self):
+        source = "SEED = 11\nbuild(seed=4)\n"
+        for path in ("src/repro/core/runner.py", "tests/test_x.py", "<string>"):
+            assert [
+                f.rule_id
+                for f in lint_source(textwrap.dedent(source), path=path)
+            ] == []
+
+    def test_allow_pragma_suppresses(self):
+        assert self._bench_ids("SEED = 11  # lint: allow[R007]\n") == []
+
+
 class TestSyntaxErrorHandling:
     def test_unparsable_source_reports_r000(self):
         findings = lint_source("def broken(:\n")
