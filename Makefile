@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint determinism sanitize chaos test bench-smoke profile check
+.PHONY: lint determinism sanitize chaos test bench-smoke profile telemetry check
 
-lint:  ## static analysis: rules R001-R007 over the shipped tree
+lint:  ## static analysis: rules R001-R008 over the shipped tree
 	$(PYTHON) -m repro.lint src/repro benchmarks
 
 determinism:  ## two-run same-seed trace-digest determinism smoke
@@ -31,4 +31,9 @@ profile:  ## smoke benchmarks under the wall profiler (collapsed stacks)
 	$(PYTHON) -m repro bench --suite smoke --profile \
 		--profile-out bench.collapsed
 
-check: lint determinism sanitize chaos test bench-smoke  ## everything CI gates on
+telemetry:  ## chaos run with telemetry capture + HTML dashboard render
+	$(PYTHON) -m repro run --scheme bohr --workload bigdata-aggregation \
+		--queries 2 --chaos flaky-wan --telemetry telemetry.jsonl
+	$(PYTHON) -m repro report telemetry.jsonl --out report.html
+
+check: lint determinism sanitize chaos test bench-smoke telemetry  ## everything CI gates on

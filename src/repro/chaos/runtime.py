@@ -110,6 +110,7 @@ def simulate_with_retries(
     starting after their per-transfer backoff delay.
     """
     obs = instrument.current()
+    telemetry = obs.telemetry
     outcome = RetryOutcome()
     with obs.tracer.span(
         "retry-transfers", stage="chaos", transfers=len(transfers)
@@ -133,9 +134,29 @@ def simulate_with_retries(
                     continue
                 if attempts[index] >= policy.max_attempts:
                     outcome.abandoned.append(stamped)
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            "abandon",
+                            t=result.finish_time,
+                            src=transfers[index].src,
+                            dst=transfers[index].dst,
+                            num_bytes=transfers[index].num_bytes,
+                            attempts=attempts[index],
+                        )
                     continue
                 delay = policy.backoff_seconds(attempts[index])
                 original = transfers[index]
+                if telemetry.enabled:
+                    telemetry.emit(
+                        "retry",
+                        t=result.finish_time,
+                        src=original.src,
+                        dst=original.dst,
+                        num_bytes=original.num_bytes,
+                        attempt=attempts[index],
+                        backoff_seconds=delay,
+                        resume_at=result.finish_time + delay,
+                    )
                 submitted[index] = Transfer(
                     src=original.src,
                     dst=original.dst,

@@ -22,7 +22,7 @@ trace-event format), ``--metrics FILE`` (metrics snapshot JSON) and
 sim-clock monotonicity, LP feasibility — non-zero exit on violation);
 ``inspect`` renders a saved JSONL trace as a per-stage latency
 breakdown and can convert it to the Chrome format; ``lint`` runs the
-project's simulation-aware static analysis (rules R001–R007) and the
+project's simulation-aware static analysis (rules R001–R008) and the
 two-run ``--determinism`` smoke.  ``--chaos PROFILE`` (with
 ``--chaos-seed``) injects a deterministic fault schedule — degraded and
 blacked-out links, site outages, stragglers, lost task waves — and runs
@@ -50,6 +50,18 @@ prints the same QCT attribution for a saved trace::
     python -m repro bench --suite smoke --compare BENCH_smoke.json
     python -m repro run --scheme bohr --profile
     python -m repro inspect trace.jsonl --breakdown
+
+``--telemetry FILE`` (on ``run`` and ``compare``) records the streaming
+runtime event bus — flow/link/stage/fault/plan events on the simulated
+clock — as versioned JSONL (schema in DESIGN.md); ``report`` renders a
+recorded stream as a static self-contained HTML dashboard (per-link
+utilization heatmap with fault overlays, stage Gantt, estimator-error
+curve, cumulative delivered vs. abandoned bytes); ``top`` drives a
+dynamic-dataset sweep with a live terminal view over the same bus::
+
+    python -m repro run --scheme bohr --chaos havoc --telemetry tele.jsonl
+    python -m repro report tele.jsonl --out report.html
+    python -m repro top --scheme bohr --queries 12
 """
 
 from __future__ import annotations
@@ -126,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "chrome://tracing trace-event format")
         cmd.add_argument("--metrics", metavar="FILE",
                          help="write a metrics snapshot as JSON")
+        cmd.add_argument("--telemetry", metavar="FILE",
+                         help="record the streaming runtime event bus "
+                         "as versioned JSONL (render with 'repro report')")
         cmd.add_argument("--sanitize", action="store_true",
                          help="check simulation invariants (bytes "
                          "conservation, clock monotonicity, LP "
@@ -160,6 +175,46 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print the per-stage QCT attribution "
                              "table (percentages sum to 100)")
 
+    report_cmd = commands.add_parser(
+        "report",
+        help="render a recorded telemetry stream as a static HTML dashboard",
+    )
+    report_cmd.add_argument("telemetry_file", metavar="TELEMETRY",
+                            help="JSONL stream written by --telemetry")
+    report_cmd.add_argument("--out", metavar="FILE", default="report.html",
+                            help="output HTML path (default: report.html)")
+    report_cmd.add_argument("--title", default="repro telemetry report")
+
+    top_cmd = commands.add_parser(
+        "top",
+        help="dynamic-dataset sweep with a live terminal telemetry view",
+    )
+    top_cmd.add_argument("--scheme", default="bohr", choices=SCHEME_NAMES)
+    top_cmd.add_argument("--workload", default="bigdata-aggregation",
+                         choices=WORKLOAD_CHOICES)
+    top_cmd.add_argument("--placement", default="random",
+                         choices=("random", "locality"))
+    top_cmd.add_argument("--base-uplink", default="2MB/s")
+    top_cmd.add_argument("--lag", type=float, default=8.0)
+    top_cmd.add_argument("--probe-k", type=int, default=30)
+    top_cmd.add_argument("--queries", type=int, default=12,
+                         help="queries to execute in the sweep")
+    top_cmd.add_argument("--replan-every", type=int, default=5)
+    top_cmd.add_argument("--batches", type=int, default=15,
+                         help="dynamic batches per dataset feed")
+    top_cmd.add_argument("--initial-fraction", type=float, default=0.25)
+    top_cmd.add_argument("--interval", type=float, default=20.0,
+                         help="seconds between batch arrivals")
+    top_cmd.add_argument("--seed", type=int, default=11)
+    top_cmd.add_argument("--scale", type=float, default=1.0)
+    top_cmd.add_argument("--chaos", metavar="PROFILE", default=None,
+                         choices=CHAOS_PROFILES)
+    top_cmd.add_argument("--chaos-seed", type=int, default=13)
+    top_cmd.add_argument("--refresh", type=int, default=500,
+                         help="repaint every N telemetry events")
+    top_cmd.add_argument("--telemetry", metavar="FILE",
+                         help="also record the stream as JSONL")
+
     from repro.bench.cli import add_bench_arguments
 
     bench_cmd = commands.add_parser(
@@ -173,7 +228,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_cmd = commands.add_parser(
         "lint",
-        help="simulation-aware static analysis (R001-R007) + "
+        help="simulation-aware static analysis (R001-R008) + "
         "determinism smoke",
     )
     add_lint_arguments(lint_cmd)
@@ -227,7 +282,24 @@ def _print_result(result: ExperimentResult) -> None:
 
 
 def _wants_observability(args: argparse.Namespace) -> bool:
-    return bool(args.trace or args.chrome_trace or args.metrics or args.profile)
+    return bool(
+        args.trace or args.chrome_trace or args.metrics or args.profile
+        or args.telemetry
+    )
+
+
+def _fault_schedule(args: argparse.Namespace):
+    """The deterministic fault schedule the run executed under (or None).
+
+    Rebuilt from the same profile/seed/topology, so it is exactly the
+    schedule the runtime saw — used to annotate the Chrome trace.
+    """
+    if not getattr(args, "chaos", None):
+        return None
+    from repro.chaos.profiles import build_schedule
+
+    topology = ec2_ten_sites(base_uplink=args.base_uplink)
+    return build_schedule(args.chaos, topology, seed=args.chaos_seed)
 
 
 def _export_observability(args: argparse.Namespace, obs) -> None:
@@ -237,7 +309,7 @@ def _export_observability(args: argparse.Namespace, obs) -> None:
         export_jsonl(obs.tracer, args.trace)
         print(f"trace written to {args.trace} ({len(obs.tracer.spans)} spans)")
     if args.chrome_trace:
-        export_chrome(obs.tracer, args.chrome_trace)
+        export_chrome(obs.tracer, args.chrome_trace, faults=_fault_schedule(args))
         print(f"Chrome trace written to {args.chrome_trace}")
     if args.metrics:
         obs.metrics.to_json(args.metrics)
@@ -245,6 +317,78 @@ def _export_observability(args: argparse.Namespace, obs) -> None:
             f"metrics written to {args.metrics} "
             f"({len(obs.metrics.series())} series)"
         )
+    if args.telemetry:
+        from repro.obs.telemetry import write_jsonl
+
+        write_jsonl(obs.telemetry, args.telemetry)
+        print(
+            f"telemetry written to {args.telemetry} "
+            f"({len(obs.telemetry.events)} events)"
+        )
+
+
+def _run_top(args: argparse.Namespace) -> int:
+    from repro import make_system
+    from repro.core.dynamic import initial_workload_from_feeds, run_dynamic
+    from repro.obs import instrument
+    from repro.obs.telemetry import TelemetryBus, write_jsonl
+    from repro.obs.top import TelemetryTop
+    from repro.workloads import build_workload
+    from repro.workloads.dynamic import DynamicDataFeed
+
+    topology = ec2_ten_sites(base_uplink=args.base_uplink)
+    config = SystemConfig(
+        lag_seconds=args.lag, probe_k=args.probe_k, seed=args.seed,
+        partition_records=8,
+    )
+    chaos = None
+    if args.chaos:
+        from repro.chaos.profiles import build_schedule
+        from repro.chaos.runtime import ChaosConfig
+
+        chaos = ChaosConfig(
+            faults=build_schedule(args.chaos, topology, seed=args.chaos_seed)
+        )
+    template = build_workload(
+        args.workload, topology, placement=args.placement,
+        seed=args.seed, scale=args.scale,
+    )
+    feeds = {
+        dataset.dataset_id: DynamicDataFeed.split(
+            dataset,
+            initial_fraction=args.initial_fraction,
+            num_batches=args.batches,
+            interval_seconds=args.interval,
+        )
+        for dataset in template.catalog
+    }
+    workload = initial_workload_from_feeds(template, feeds)
+    bus = TelemetryBus()
+    view = TelemetryTop(refresh_events=args.refresh)
+    view.attach(bus)
+    with instrument.instrumented(telemetry=bus):
+        # Built inside the slot so controller-construction events (the
+        # chaos fault windows) reach the bus.
+        controller = make_system(args.scheme, topology, config, chaos=chaos)
+        result = run_dynamic(
+            controller, workload, feeds,
+            num_queries=args.queries, replan_every=args.replan_every,
+        )
+    view.close()
+    print(
+        f"\n{args.scheme} dynamic sweep on {args.workload}: "
+        f"{len(result.qcts)} queries, mean QCT "
+        f"{format_seconds(result.mean_qct)}, {result.replans} replans, "
+        f"{result.batches_applied} batches, "
+        f"{result.fault_replans} fault replans, "
+        f"{result.aborted_queries} aborted"
+    )
+    if args.telemetry:
+        write_jsonl(bus, args.telemetry)
+        print(
+            f"telemetry written to {args.telemetry} ({len(bus.events)} events)"
+        )
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -301,6 +445,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         return run_lint(args)
 
+    if args.command == "report":
+        from repro.obs.report_html import write_report
+        from repro.obs.telemetry import load_jsonl as load_telemetry
+
+        header, events = load_telemetry(args.telemetry_file)
+        write_report(
+            events, args.out, title=args.title, source=args.telemetry_file
+        )
+        print(
+            f"report written to {args.out} "
+            f"({len(events)} events, schema v{header['version']})"
+        )
+        return 0
+
+    if args.command == "top":
+        return _run_top(args)
+
     if args.command == "run":
         schemes = [args.scheme]
     else:  # compare
@@ -320,7 +481,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.obs.sanitize import Sanitizer
 
             sanitizer = Sanitizer(mode="collect")
-        with instrument.instrumented(sanitizer=sanitizer) as obs:
+        telemetry = None
+        if args.telemetry:
+            from repro.obs.telemetry import TelemetryBus
+
+            telemetry = TelemetryBus()
+        with instrument.instrumented(
+            sanitizer=sanitizer, telemetry=telemetry
+        ) as obs:
             if profiler is not None:
                 with profiler:
                     results = [_experiment(scheme, args) for scheme in schemes]

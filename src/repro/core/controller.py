@@ -135,6 +135,18 @@ class Controller:
         self.degraded_replans = 0
         #: Sites taken out by a fault; later replans keep excluding them.
         self.dead_sites: set = set()
+        telemetry = instrument.current().telemetry
+        if chaos is not None and telemetry.enabled:
+            for event in chaos.faults.events:
+                telemetry.emit(
+                    "fault-window",
+                    t=event.start,
+                    fault=event.kind,
+                    site=event.site,
+                    start=event.start,
+                    end=None if math.isinf(event.end) else event.end,
+                    severity=event.severity,
+                )
 
     # ------------------------------------------------------------------
     # offline phase
@@ -214,7 +226,22 @@ class Controller:
         obs.metrics.counter("moved_bytes", scheme=self.profile.name).inc(
             report.movement.total_moved_bytes
         )
-        self.bandwidth.observe_transfers(report.movement.transfers)
+        self.bandwidth.observe_transfers(
+            report.movement.transfers, truth=self.scheduler.effective_bps
+        )
+        if obs.telemetry.enabled:
+            estimated = report.estimated_shuffle_seconds
+            obs.telemetry.emit(
+                "plan",
+                scheme=self.profile.name,
+                moved_bytes=report.movement.total_moved_bytes,
+                estimated_shuffle_seconds=(
+                    None if math.isinf(estimated) else estimated
+                ),
+                planner_iterations=report.planner_iterations,
+                probes=len(report.probes),
+                lp_wall_seconds=report.lp_solve_seconds,
+            )
         self._fractions = dict(decision.reduce_fractions)
         self._movement_fractions = {}
         for (dataset_id, src, dst), moved in report.movement.moved_bytes.items():
@@ -329,12 +356,22 @@ class Controller:
                         self.chaos.retry if self.chaos is not None else None
                     ),
                 )
-                self.bandwidth.observe_transfers(report.movement.transfers)
+                self.bandwidth.observe_transfers(
+                    report.movement.transfers, truth=self.scheduler.effective_bps
+                )
                 self._fractions = dict(decision.reduce_fractions)
         self.degraded_replans += 1
         obs.metrics.counter(
             "degraded_replans", scheme=self.profile.name
         ).inc()
+        if obs.telemetry.enabled:
+            obs.telemetry.emit(
+                "degraded-replan",
+                scheme=self.profile.name,
+                dead=",".join(sorted(dead)),
+                survivors=len(alive),
+                lp_wall_seconds=report.lp_solve_seconds,
+            )
         return report
 
     # ------------------------------------------------------------------
@@ -345,6 +382,13 @@ class Controller:
         """Execute one recurring query under the prepared placement."""
         spec = query.spec
         obs = instrument.current()
+        if obs.telemetry.enabled:
+            obs.telemetry.emit(
+                "query-start",
+                t=0.0,
+                dataset=spec.dataset_id,
+                scheme=self.profile.name,
+            )
         with obs.tracer.span(
             f"query:{spec.dataset_id}",
             stage="query",
@@ -367,6 +411,16 @@ class Controller:
         if span is not None:
             span.attrs["qct"] = result.qct
             span.sim_start, span.sim_end = 0.0, result.qct
+        if obs.telemetry.enabled:
+            obs.telemetry.emit(
+                "query-finish",
+                t=result.qct,
+                dataset=spec.dataset_id,
+                scheme=self.profile.name,
+                qct=result.qct,
+                wan_bytes=result.total_wan_bytes,
+                lost_bytes=result.total_lost_bytes,
+            )
         obs.metrics.histogram(
             "qct_seconds", scheme=self.profile.name
         ).observe(result.qct)
@@ -419,6 +473,16 @@ class Controller:
             obs.metrics.counter(
                 "query_aborts", scheme=self.profile.name
             ).inc()
+            if obs.telemetry.enabled:
+                obs.telemetry.emit(
+                    "query-abort",
+                    t=deadline,
+                    dataset=query.spec.dataset_id,
+                    scheme=self.profile.name,
+                    qct=result.qct,
+                    deadline=deadline,
+                    partial_fraction=outcome.partial_fraction,
+                )
         self.last_outcome = outcome
         return outcome
 

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.core.controller import Controller
 from repro.errors import ConfigurationError
+from repro.obs import instrument
 from repro.query.spec import RecurringQuery
 from repro.types import DatasetCatalog, GeoDataset
 from repro.workloads.base import Workload
@@ -96,6 +97,7 @@ def run_dynamic(
         # New data lands between queries; it is pre-processed and moved
         # per the current placement decision before the next query, and a
         # fresh plan is computed on the replan boundary.
+        telemetry = instrument.current().telemetry
         arrivals: Dict[str, Dict[str, float]] = {}
         for dataset_id, feed in feeds.items():
             if feed.exhausted:
@@ -110,6 +112,14 @@ def run_dynamic(
                 for site in after
                 if after.get(site, 0) > before.get(site, 0)
             }
+            if telemetry.enabled:
+                telemetry.emit(
+                    "batch-applied",
+                    dataset=dataset_id,
+                    batch=feed.applied_batches,
+                    num_bytes=sum(arrivals[dataset_id].values()),
+                    after_query=index + 1,
+                )
         if arrivals:
             controller.place_new_data(workload, arrivals)
         if faults is not None:
@@ -128,6 +138,13 @@ def run_dynamic(
         if (index + 1) % replan_every == 0:
             controller.prepare(workload)
             result.replans += 1
+            if telemetry.enabled:
+                telemetry.emit(
+                    "replan",
+                    scheme=controller.profile.name,
+                    after_query=index + 1,
+                    total_replans=result.replans,
+                )
     return result
 
 

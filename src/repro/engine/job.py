@@ -261,8 +261,67 @@ class MapReduceEngine:
                 obs.sanitizer.check_job(job_result)
             if obs.tracer.enabled:
                 self._record_job_spans(obs.tracer, job_result)
+            if obs.telemetry.enabled:
+                self._emit_job_telemetry(obs.telemetry, job_result, index)
             job_results.append(job_result)
         return job_results
+
+    @staticmethod
+    def _emit_job_telemetry(telemetry, result: JobResult, index: int) -> None:
+        """Stage/task lifecycle events for one job (per-site, sim clock).
+
+        Map runs [0, map_finish], reduce [finish - reduce_seconds, finish];
+        stage-finish carries its own start so the Gantt derivation never
+        has to pair events.  rdd_overhead is wall-coupled and excluded
+        from determinism digests by name.
+        """
+        job = f"job-{index}"
+        for site, site_metrics in result.per_site.items():
+            if site_metrics.excluded:
+                continue
+            if site_metrics.input_records or site_metrics.map_finish > 0:
+                telemetry.emit("stage-start", t=0.0, stage="map", site=site, job=job)
+                telemetry.emit(
+                    "stage-finish",
+                    t=site_metrics.map_finish,
+                    stage="map",
+                    site=site,
+                    job=job,
+                    start=0.0,
+                    input_bytes=site_metrics.input_bytes,
+                    intermediate_bytes=site_metrics.intermediate_bytes,
+                    rdd_overhead_seconds=site_metrics.rdd_overhead_seconds,
+                )
+            if site_metrics.task_retry_waves > 0:
+                telemetry.emit(
+                    "task-wave",
+                    t=site_metrics.map_finish,
+                    site=site,
+                    job=job,
+                    waves=site_metrics.task_retry_waves,
+                )
+            if site_metrics.reduce_seconds > 0:
+                reduce_start = site_metrics.finish_time - site_metrics.reduce_seconds
+                telemetry.emit(
+                    "stage-start", t=reduce_start, stage="reduce", site=site, job=job
+                )
+                telemetry.emit(
+                    "stage-finish",
+                    t=site_metrics.finish_time,
+                    stage="reduce",
+                    site=site,
+                    job=job,
+                    start=reduce_start,
+                    downloaded_bytes=site_metrics.downloaded_bytes,
+                )
+        telemetry.emit(
+            "job-finish",
+            t=result.qct,
+            job=job,
+            qct=result.qct,
+            wan_bytes=result.total_wan_bytes,
+            lost_bytes=result.total_lost_bytes,
+        )
 
     @staticmethod
     def _record_job_spans(tracer, result: JobResult) -> None:
@@ -457,19 +516,29 @@ class MapReduceEngine:
                 for key, record in output.records.items():
                     dst = task_map.site_of_key(key)
                     volume[(src, dst)] = volume.get((src, dst), 0.0) + record.size_bytes
-        registry = instrument.current().metrics
+        obs = instrument.current()
+        registry = obs.metrics
+        telemetry = obs.telemetry
         transfers: List[Transfer] = []
+        wan_bytes = 0.0
+        lan_bytes = 0.0
+        earliest_start: Optional[float] = None
         for (src, dst), num_bytes in sorted(volume.items()):
             if src == dst:
                 metrics[src].local_shuffle_bytes += num_bytes
+                lan_bytes += num_bytes
             else:
                 metrics[src].uploaded_bytes += num_bytes
                 metrics[dst].downloaded_bytes += num_bytes
+                wan_bytes += num_bytes
+            link = "lan" if src == dst else "wan"
             if registry.enabled:
-                metrics_kind = "lan" if src == dst else "wan"
                 registry.counter(
-                    "shuffle_bytes", src=src, dst=dst, link=metrics_kind
+                    "shuffle_bytes", src=src, dst=dst, link=link
                 ).inc(num_bytes)
+            start = metrics[src].map_finish
+            if earliest_start is None or start < earliest_start:
+                earliest_start = start
             transfers.append(
                 Transfer(
                     src=src,
@@ -478,6 +547,17 @@ class MapReduceEngine:
                     start_time=metrics[src].map_finish,
                     tag=tag,
                 )
+            )
+        # One aggregate event per planning call; per-edge detail is already
+        # on the flow-start events the transfers produce.
+        if telemetry.enabled and transfers:
+            telemetry.emit(
+                "shuffle-plan",
+                t=earliest_start,
+                tag=tag,
+                edges=len(transfers),
+                wan_bytes=wan_bytes,
+                lan_bytes=lan_bytes,
             )
         return transfers
 

@@ -114,7 +114,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="Simulation-aware static analysis + determinism smoke "
-        "for the Bohr reproduction (rules R001-R007; see DESIGN.md).",
+        "for the Bohr reproduction (rules R001-R008; see DESIGN.md).",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -1,8 +1,9 @@
 """Two-run same-seed determinism smoke (``repro lint --determinism``).
 
 Runs the same experiment twice with identical seeds, each under a fresh
-tracer, and compares a digest of the *simulated* trace content plus a
-digest of the reported numbers.  Wall-clock fields (span wall times, the
+tracer and telemetry bus, and compares a digest of the *simulated* trace
+content, a digest of the reported numbers, and a digest of the telemetry
+event stream (:func:`repro.obs.telemetry.telemetry_digest`).  Wall-clock fields (span wall times, the
 measured offline-prep costs) legitimately differ between runs and are
 excluded; everything else — span structure, sim-clock intervals, byte
 counts, similarities, placement fractions — must be byte-identical, or
@@ -99,16 +100,22 @@ class DeterminismReport:
     scheme: str
     workload: str
     seed: int
+    #: SHA-256 of the telemetry event streams (wall attrs excluded).
+    telemetry_digests: Tuple[str, str] = ("", "")
+    telemetry_events: int = 0
 
     def render(self) -> str:
         verdict = "DETERMINISTIC" if self.deterministic else "NON-DETERMINISTIC"
         lines = [
             f"{verdict}: {self.scheme} on {self.workload} "
-            f"(seed {self.seed}, {self.spans} spans/run)",
-            f"  trace digests:  {self.trace_digests[0][:16]}… vs "
+            f"(seed {self.seed}, {self.spans} spans/run, "
+            f"{self.telemetry_events} telemetry events/run)",
+            f"  trace digests:     {self.trace_digests[0][:16]}… vs "
             f"{self.trace_digests[1][:16]}…",
-            f"  result digests: {self.result_digests[0][:16]}… vs "
+            f"  result digests:    {self.result_digests[0][:16]}… vs "
             f"{self.result_digests[1][:16]}…",
+            f"  telemetry digests: {self.telemetry_digests[0][:16]}… vs "
+            f"{self.telemetry_digests[1][:16]}…",
         ]
         return "\n".join(lines)
 
@@ -132,11 +139,12 @@ def run_determinism_check(
     """
     from repro.core.runner import run_experiment
     from repro.obs import instrument
+    from repro.obs.telemetry import TelemetryBus, telemetry_digest
     from repro.systems.base import SystemConfig
     from repro.wan.presets import ec2_ten_sites
     from repro.workloads import build_workload
 
-    digests: List[Tuple[str, str, int]] = []
+    digests: List[Tuple[str, str, int, str, int]] = []
     for _ in range(2):
         topology = ec2_ten_sites(base_uplink=base_uplink)
         config = SystemConfig(
@@ -159,7 +167,8 @@ def run_determinism_check(
                 workload, topology, placement=placement, seed=seed, scale=scale
             )
 
-        with instrument.instrumented() as obs:
+        bus = TelemetryBus()
+        with instrument.instrumented(telemetry=bus) as obs:
             result = run_experiment(
                 scheme, factory, topology, config, query_limit=queries,
                 chaos=chaos,
@@ -169,16 +178,23 @@ def run_determinism_check(
                 trace_digest(obs.tracer.spans),
                 result_digest([result]),
                 len(obs.tracer.spans),
+                telemetry_digest(bus),
+                len(bus.events),
             )
         )
 
-    (trace_a, result_a, spans_a), (trace_b, result_b, _spans_b) = digests
+    (trace_a, result_a, spans_a, tele_a, events_a) = digests[0]
+    (trace_b, result_b, _spans_b, tele_b, _events_b) = digests[1]
     return DeterminismReport(
-        deterministic=(trace_a == trace_b and result_a == result_b),
+        deterministic=(
+            trace_a == trace_b and result_a == result_b and tele_a == tele_b
+        ),
         trace_digests=(trace_a, trace_b),
         result_digests=(result_a, result_b),
         spans=spans_a,
         scheme=scheme,
         workload=workload,
         seed=seed,
+        telemetry_digests=(tele_a, tele_b),
+        telemetry_events=events_a,
     )

@@ -25,6 +25,12 @@ DESIGN.md "Determinism & invariants contract"):
   (:func:`repro.bench.bench_seed`); a literal ``SEED = 3`` or
   ``seed=7`` pins part of the suite to a private randomness universe
   that ``repro bench --seed`` cannot shift.
+* **R008** — no direct ``print()`` in library code under ``src/repro/``.
+  Library modules return or render strings and let the CLI layer decide
+  where they go; a stray ``print`` corrupts machine-readable output
+  (``--json``, JSONL exports) and cannot be silenced.  CLI entry points
+  (``cli.py``, ``__main__.py``) and the terminal view (``top.py``) are
+  whitelisted by basename; one-off sites carry ``# lint: allow[R008]``.
 """
 
 from __future__ import annotations
@@ -417,3 +423,41 @@ class HardCodedBenchSeedRule(LintRule):
                 default
             ):
                 yield default, ("literal default for seed= — " + _R007_HINT)
+
+
+# ----------------------------------------------------------------------
+# R008 — direct print() in library code
+# ----------------------------------------------------------------------
+
+#: Modules whose job *is* terminal output, matched by basename.
+_PRINT_WHITELIST = frozenset({"cli.py", "__main__.py", "top.py"})
+
+
+@register
+class LibraryPrintRule(LintRule):
+    rule_id = "R008"
+    title = "direct print() in library code"
+    node_types = (ast.Call,)
+
+    @staticmethod
+    def _in_library(context: LintContext) -> bool:
+        normalized = context.path.replace("\\", "/")
+        segments = normalized.split("/")
+        if segments[-1] in _PRINT_WHITELIST:
+            return False
+        for index, segment in enumerate(segments[:-1]):
+            if segment == "src" and segments[index + 1 : index + 2] == ["repro"]:
+                return True
+        return False
+
+    def check(self, node: ast.AST, context: LintContext) -> _CheckResult:
+        assert isinstance(node, ast.Call)
+        if not self._in_library(context):
+            return
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "print":
+            yield node, (
+                "direct print() in library code — return/render the string "
+                "and let the CLI layer emit it (or write to an injected "
+                "stream); pragma genuinely interactive sites"
+            )

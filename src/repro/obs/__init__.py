@@ -18,7 +18,13 @@ first-class, machine-readable artifact instead of a post-hoc guess:
   conservation, sim-clock monotonicity, LP feasibility) behind the CLI
   ``--sanitize`` flag;
 * :mod:`repro.obs.inspect` — per-stage latency breakdown of a saved
-  trace (the ``python -m repro inspect`` command).
+  trace (the ``python -m repro inspect`` command);
+* :mod:`repro.obs.telemetry` — the streaming runtime event bus behind
+  ``--telemetry`` (flow/link/stage/fault/plan events, versioned JSONL);
+* :mod:`repro.obs.series` — derivations from event streams to sim-time
+  time-series (link utilization, site busy fraction, estimator error);
+* :mod:`repro.obs.report_html` / :mod:`repro.obs.top` — the static
+  ``repro report`` dashboard and the live ``repro top`` terminal view.
 """
 
 from repro.obs.instrument import (
@@ -37,6 +43,13 @@ from repro.obs.metrics import (
 )
 from repro.obs.sanitize import NULL_SANITIZER, NullSanitizer, Sanitizer
 from repro.obs.span import Span
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetryBus,
+    TelemetryBus,
+    TelemetryEvent,
+    telemetry_digest,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = [
@@ -48,13 +61,18 @@ __all__ = [
     "NULL_INSTRUMENTATION",
     "NULL_METRICS",
     "NULL_SANITIZER",
+    "NULL_TELEMETRY",
     "NULL_TRACER",
     "NullMetrics",
     "NullSanitizer",
+    "NullTelemetryBus",
     "NullTracer",
     "Sanitizer",
     "Span",
+    "TelemetryBus",
+    "TelemetryEvent",
     "Tracer",
     "current",
     "instrumented",
+    "telemetry_digest",
 ]

@@ -16,11 +16,15 @@ wall process; one lane per site on the simulated process).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Sequence, Union
+import math
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import ObservabilityError
 from repro.obs.span import Span
 from repro.obs.tracer import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chaos.schedule import FaultSchedule
 
 _WALL_PID = 1
 _SIM_PID = 2
@@ -92,10 +96,54 @@ def _subtree_lanes(spans: Sequence[Span]) -> Dict[int, int]:
     return lanes
 
 
-def chrome_trace_events(
-    source: Union[Tracer, Sequence[Span]]
+def _fault_trace_events(
+    faults: "FaultSchedule", sim_lanes: Dict[str, int], events: List[Dict[str, Any]]
 ) -> List[Dict[str, Any]]:
-    """All spans as Chrome trace-event dicts (metadata events first)."""
+    """Chaos fault windows as trace events on the affected site's lane.
+
+    Finite windows become ``"X"`` duration events, so a blackout renders
+    as a bar overlapping the stage/transfer spans it disturbed; unbounded
+    windows (permanent site outages) become ``"i"`` instant events at
+    onset, since an infinite ``dur`` is not representable.
+    """
+    annotations: List[Dict[str, Any]] = []
+    ordered = sorted(
+        faults.events, key=lambda event: (event.start, event.site, event.kind)
+    )
+    for fault in ordered:
+        site = fault.site
+        if site not in sim_lanes:
+            sim_lanes[site] = len(sim_lanes) + 1
+            events.append(
+                _metadata_event(_SIM_PID, sim_lanes[site], site, "thread_name")
+            )
+        base: Dict[str, Any] = {
+            "name": f"fault:{fault.kind}",
+            "cat": "fault",
+            "pid": _SIM_PID,
+            "tid": sim_lanes[site],
+            "ts": fault.start * 1e6,
+            "args": {"site": site, "severity": fault.severity},
+        }
+        if math.isinf(fault.end):
+            annotations.append({**base, "ph": "i", "s": "t"})
+        else:
+            annotations.append(
+                {**base, "ph": "X", "dur": max(fault.end - fault.start, 0.0) * 1e6}
+            )
+    return annotations
+
+
+def chrome_trace_events(
+    source: Union[Tracer, Sequence[Span]],
+    faults: "Optional[FaultSchedule]" = None,
+) -> List[Dict[str, Any]]:
+    """All spans as Chrome trace-event dicts (metadata events first).
+
+    ``faults`` annotates the simulated-clock process with the chaos
+    schedule's windows so blackouts and stragglers render inline with
+    the spans they disturbed.
+    """
     spans = _spans_of(source)
     events: List[Dict[str, Any]] = [
         _metadata_event(_WALL_PID, 0, "wall-clock", "process_name"),
@@ -139,13 +187,19 @@ def chrome_trace_events(
                     "args": {"span_id": span.span_id, **span.attrs},
                 }
             )
+    if faults is not None:
+        events.extend(_fault_trace_events(faults, sim_lanes, events))
     return events
 
 
-def export_chrome(source: Union[Tracer, Sequence[Span]], path: str) -> None:
+def export_chrome(
+    source: Union[Tracer, Sequence[Span]],
+    path: str,
+    faults: "Optional[FaultSchedule]" = None,
+) -> None:
     """Write the Chrome ``chrome://tracing`` JSON object format."""
     document = {
-        "traceEvents": chrome_trace_events(source),
+        "traceEvents": chrome_trace_events(source, faults=faults),
         "displayTimeUnit": "ms",
     }
     with open(path, "w", encoding="utf-8") as handle:
@@ -168,3 +222,5 @@ def validate_chrome_events(events: Iterable[Dict[str, Any]]) -> None:
                 )
             if event["dur"] < 0:
                 raise ObservabilityError(f"negative duration: {event}")
+        if event["ph"] == "i" and "ts" not in event:
+            raise ObservabilityError(f"instant event missing ts: {event}")

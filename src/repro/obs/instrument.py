@@ -34,12 +34,13 @@ from typing import Iterator, Optional, Union
 
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.sanitize import NULL_SANITIZER, NullSanitizer, Sanitizer
+from repro.obs.telemetry import NULL_TELEMETRY, NullTelemetryBus, TelemetryBus
 from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
 
 
 @dataclass
 class Instrumentation:
-    """A tracer/metrics/sanitizer triple handed to instrumented call sites."""
+    """The tracer/metrics/sanitizer/telemetry bundle handed to call sites."""
 
     tracer: Union[Tracer, NullTracer] = field(default_factory=lambda: NULL_TRACER)
     metrics: Union[MetricsRegistry, NullMetrics] = field(
@@ -48,11 +49,17 @@ class Instrumentation:
     sanitizer: Union[Sanitizer, NullSanitizer] = field(
         default_factory=lambda: NULL_SANITIZER
     )
+    telemetry: Union[TelemetryBus, NullTelemetryBus] = field(
+        default_factory=lambda: NULL_TELEMETRY
+    )
 
     @property
     def enabled(self) -> bool:
         return (
-            self.tracer.enabled or self.metrics.enabled or self.sanitizer.enabled
+            self.tracer.enabled
+            or self.metrics.enabled
+            or self.sanitizer.enabled
+            or self.telemetry.enabled
         )
 
 
@@ -78,17 +85,20 @@ def instrumented(
     tracer: Optional[Union[Tracer, NullTracer]] = None,
     metrics: Optional[Union[MetricsRegistry, NullMetrics]] = None,
     sanitizer: Optional[Union[Sanitizer, NullSanitizer]] = None,
+    telemetry: Optional[Union[TelemetryBus, NullTelemetryBus]] = None,
 ) -> Iterator[Instrumentation]:
     """Activate live collection for a region, restoring the prior slot.
 
     With no arguments, a fresh :class:`Tracer` and
-    :class:`MetricsRegistry` are created (the sanitizer stays off); pass
-    explicit instances (or the null twins) to share or suppress any part.
+    :class:`MetricsRegistry` are created (the sanitizer and telemetry bus
+    stay off); pass explicit instances (or the null twins) to share or
+    suppress any part.
     """
     instrumentation = Instrumentation(
         tracer=tracer if tracer is not None else Tracer(),
         metrics=metrics if metrics is not None else MetricsRegistry(),
         sanitizer=sanitizer if sanitizer is not None else NULL_SANITIZER,
+        telemetry=telemetry if telemetry is not None else NULL_TELEMETRY,
     )
     previous = current()
     install(instrumentation)

@@ -122,7 +122,10 @@ class MetricsRegistry:
         key = _series_key(name, labels)
         series = self._series.get(key)
         if series is None:
-            series = kind(name, {k: str(v) for k, v in labels.items()})
+            # Labels are stored pre-sorted so every dump (snapshot dicts,
+            # JSON, text tables) is byte-identical regardless of the
+            # kwargs order at whichever call site created the series.
+            series = kind(name, {k: str(labels[k]) for k in sorted(labels)})
             self._series[key] = series
         elif not isinstance(series, kind):
             raise ObservabilityError(

@@ -1,0 +1,344 @@
+"""Streaming runtime telemetry: a typed event bus the hot paths publish into.
+
+PR 1's tracer and metrics observe the system *after* it ran (spans close,
+counters dump).  The telemetry bus observes it *while* it runs: the WAN
+simulator, the engine, the chaos runtime, and the controller publish
+small typed events as simulation advances, and consumers — the JSONL
+archive (``--telemetry FILE``), the ``repro report`` dashboard, the
+``repro top`` live view — either subscribe to the stream or replay the
+archive.
+
+Like the instrument slot's other members, the bus has a no-op twin
+(:data:`NULL_TELEMETRY`): a disabled call site costs one attribute lookup
+and a truthiness check, so the telemetry-off hot path is unchanged.
+
+Event model (schema v1, specified in DESIGN.md):
+
+* ``seq`` — monotonically increasing per bus, fixing a total order;
+* ``t`` — simulated-clock seconds the event describes, or ``None`` for
+  offline/wall-side events (plans, task-map builds);
+* ``kind`` — one of :data:`EVENT_KINDS`; unknown kinds are rejected so a
+  typo'd emitter fails loudly in tests rather than silently dropping a
+  dashboard panel;
+* ``attrs`` — flat JSON scalars (numbers, strings, bools, ``None``).
+
+The JSONL archive starts with one header line carrying the schema
+version; :func:`load_jsonl` refuses future-versioned files rather than
+misreading them.  Two same-seed runs produce byte-identical archives
+(checked by ``repro lint --determinism``) because every emitter iterates
+deterministically ordered structures and wall-measured attributes are
+kept out of the digest (:func:`telemetry_digest`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObservabilityError
+
+#: Schema version written into the JSONL header line.
+TELEMETRY_VERSION = 1
+
+#: Every event kind the v1 schema admits, grouped by emitting layer.
+EVENT_KINDS = frozenset(
+    {
+        # wan/transfer.py — flow lifecycle and link occupancy
+        "flow-start",
+        "flow-park",
+        "flow-finish",
+        "flow-fail",
+        "link-sample",
+        "capacity-epoch",
+        "flows-sample",
+        # wan/estimator.py — bandwidth-estimate drift
+        "estimator-sample",
+        # engine/job.py + engine/shuffle.py — stage/task lifecycle
+        "stage-start",
+        "stage-finish",
+        "shuffle-plan",
+        "task-wave",
+        "reduce-tasks",
+        "job-finish",
+        # chaos/runtime.py — fault windows and recovery churn
+        "fault-window",
+        "retry",
+        "abandon",
+        # core/controller.py + core/dynamic.py — planning and queries
+        "plan",
+        "degraded-replan",
+        "replan",
+        "batch-applied",
+        "query-start",
+        "query-finish",
+        "query-abort",
+    }
+)
+
+#: Attribute keys carrying wall-measured values (excluded from digests;
+#: keys ending in ``wall_seconds`` are excluded by suffix as well).
+WALL_ATTRS = frozenset({"rdd_overhead_seconds", "overhead_seconds"})
+
+_Scalar = Union[str, int, float, bool, None]
+
+#: Hoisted for the ``emit`` hot path (saves a module-attribute lookup).
+_isfinite = math.isfinite
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One typed event on the stream."""
+
+    seq: int
+    kind: str
+    t: Optional[float] = None
+    attrs: Dict[str, _Scalar] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ObservabilityError(
+                f"unknown telemetry event kind {self.kind!r}; "
+                f"schema v{TELEMETRY_VERSION} kinds: {sorted(EVENT_KINDS)}"
+            )
+        if self.t is not None and (math.isnan(self.t) or math.isinf(self.t)):
+            raise ObservabilityError(
+                f"telemetry event {self.kind!r}: t must be finite, got {self.t}"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable representation (one JSONL line)."""
+        record: Dict[str, Any] = {"seq": self.seq, "kind": self.kind, "t": self.t}
+        if self.attrs:
+            record["attrs"] = {key: self.attrs[key] for key in sorted(self.attrs)}
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "TelemetryEvent":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                seq=int(record["seq"]),
+                kind=str(record["kind"]),
+                t=None if record.get("t") is None else float(record["t"]),
+                attrs=dict(record.get("attrs", {})),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ObservabilityError(
+                f"malformed telemetry event: {error}"
+            ) from None
+
+
+#: A subscriber gets every event as it is emitted (the ``repro top`` hook).
+Subscriber = Callable[[TelemetryEvent], None]
+
+
+class TelemetryBus:
+    """Collects (and optionally streams) telemetry events for one run.
+
+    ``emit`` is the hot path — it runs once per simulator round sample —
+    so it validates and appends into three parallel columns (kind, t,
+    attrs; ``seq`` is the column index) and defers
+    :class:`TelemetryEvent` construction until a consumer reads
+    :attr:`events` (or a live subscriber is attached, which forces
+    per-emit materialization).  Columnar storage also keeps the
+    per-event allocation count down, which matters: at tens of
+    thousands of events the GC churn from per-event container objects
+    is a measurable slice of the telemetry overhead budget.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._kinds: List[str] = []
+        self._ts: List[Optional[float]] = []
+        self._attr_rows: List[Dict[str, _Scalar]] = []
+        self._materialized: List[TelemetryEvent] = []
+        self._subscribers: List[Subscriber] = []
+
+    @property
+    def events(self) -> List[TelemetryEvent]:
+        """Materialized event list (lazily extended; same objects returned)."""
+        kinds = self._kinds
+        events = self._materialized
+        while len(events) < len(kinds):
+            index = len(events)
+            events.append(
+                TelemetryEvent(
+                    seq=index,
+                    kind=kinds[index],
+                    t=self._ts[index],
+                    attrs=self._attr_rows[index],
+                )
+            )
+        return events
+
+    def emit(
+        self, kind: str, t: Optional[float] = None, **attrs: _Scalar
+    ) -> Optional[TelemetryEvent]:
+        """Append one event and fan it out to subscribers."""
+        if kind not in EVENT_KINDS:
+            raise ObservabilityError(
+                f"unknown telemetry event kind {kind!r}; "
+                f"schema v{TELEMETRY_VERSION} kinds: {sorted(EVENT_KINDS)}"
+            )
+        if t is not None and not _isfinite(t):
+            raise ObservabilityError(
+                f"telemetry event {kind!r}: t must be finite, got {t}"
+            )
+        self._kinds.append(kind)
+        self._ts.append(t)
+        self._attr_rows.append(attrs)
+        if self._subscribers:
+            event = self.events[-1]
+            for subscriber in self._subscribers:
+                subscriber(event)
+            return event
+        return None
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a live consumer; called synchronously on every emit."""
+        self._subscribers.append(subscriber)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for kind in self._kinds:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+
+class NullTelemetryBus:
+    """Bus twin whose every operation is a cheap no-op."""
+
+    enabled = False
+    events: List[TelemetryEvent] = []  # always empty; shared on purpose
+
+    def emit(self, kind: str, t: Optional[float] = None, **attrs: Any) -> None:
+        return None
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        return None
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        return {}
+
+
+NULL_TELEMETRY = NullTelemetryBus()
+
+
+# ----------------------------------------------------------------------
+# JSONL archive
+# ----------------------------------------------------------------------
+
+
+def _events_of(
+    source: Union[TelemetryBus, Sequence[TelemetryEvent]]
+) -> List[TelemetryEvent]:
+    events = source.events if isinstance(source, TelemetryBus) else list(source)
+    return sorted(events, key=lambda event: event.seq)
+
+
+def write_jsonl(
+    source: Union[TelemetryBus, Sequence[TelemetryEvent]], path: str
+) -> int:
+    """Write the versioned JSONL archive; returns the event count."""
+    events = _events_of(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        header = {
+            "telemetry": "repro.obs.telemetry",
+            "version": TELEMETRY_VERSION,
+            "events": len(events),
+        }
+        handle.write(json.dumps(header, sort_keys=True))
+        handle.write("\n")
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True))
+            handle.write("\n")
+    return len(events)
+
+
+def load_jsonl(path: str) -> Tuple[Dict[str, Any], List[TelemetryEvent]]:
+    """Load ``(header, events)`` from an archive written by :func:`write_jsonl`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    if not lines:
+        raise ObservabilityError(f"{path}: empty telemetry file")
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as error:
+        raise ObservabilityError(f"{path}:1: invalid JSON ({error})") from None
+    if not isinstance(header, dict) or header.get("telemetry") != "repro.obs.telemetry":
+        raise ObservabilityError(
+            f"{path}: missing telemetry header line (is this a span trace?)"
+        )
+    version = header.get("version")
+    if version != TELEMETRY_VERSION:
+        raise ObservabilityError(
+            f"{path}: telemetry schema v{version} is not the supported "
+            f"v{TELEMETRY_VERSION}"
+        )
+    events: List[TelemetryEvent] = []
+    for line_number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ObservabilityError(
+                f"{path}:{line_number}: invalid JSON ({error})"
+            ) from None
+        events.append(TelemetryEvent.from_dict(record))
+    return header, events
+
+
+# ----------------------------------------------------------------------
+# determinism digest
+# ----------------------------------------------------------------------
+
+#: Significant digits kept when digesting floats (guards repr formatting
+#: only; identical computations produce bit-identical floats).
+_FLOAT_DIGITS = 12
+
+
+def _canonical(value: Any) -> Any:
+    if isinstance(value, float):
+        return f"{value:.{_FLOAT_DIGITS}e}"
+    return value
+
+
+def _is_wall_attr(key: str) -> bool:
+    return key in WALL_ATTRS or key.endswith("wall_seconds")
+
+
+def telemetry_digest(
+    source: Union[TelemetryBus, Sequence[TelemetryEvent]]
+) -> str:
+    """SHA-256 over the sim-relevant content of an event stream, in order.
+
+    Wall-measured attributes (:data:`WALL_ATTRS` plus any key ending in
+    ``wall_seconds``) legitimately differ between same-seed runs and are
+    excluded; everything else must be byte-identical.
+    """
+    payload: List[Any] = []
+    for event in _events_of(source):
+        attrs = {
+            key: _canonical(value)
+            for key, value in sorted(event.attrs.items())
+            if not _is_wall_attr(key)
+        }
+        payload.append(
+            [event.kind, _canonical(event.t) if event.t is not None else None, attrs]
+        )
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def iter_kind(
+    events: Iterable[TelemetryEvent], *kinds: str
+) -> List[TelemetryEvent]:
+    """Events of the given kinds, preserving stream order."""
+    wanted = set(kinds)
+    unknown = wanted - EVENT_KINDS
+    if unknown:
+        raise ObservabilityError(f"unknown telemetry kinds {sorted(unknown)}")
+    return [event for event in events if event.kind in wanted]

@@ -1,0 +1,156 @@
+"""``repro top``: a live terminal view over the telemetry bus.
+
+Long ``run_dynamic`` sweeps are opaque while they run; this subscribes to
+the in-process :class:`~repro.obs.telemetry.TelemetryBus` and repaints a
+compact status block as events stream in — sim clock, query/replan
+counts, per-link utilization snapshot, flow occupancy, delivered bytes.
+
+The view is deliberately simple terminal I/O: ANSI cursor movement when
+the stream is a TTY, plain periodic snapshots otherwise (so piping to a
+file still yields a readable progress log).  This module is one of the
+few allowed to ``print()`` (see lint rule R008) because writing to the
+terminal *is* its job.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.obs.telemetry import TelemetryBus, TelemetryEvent
+
+#: Event kinds that force an immediate repaint regardless of cadence.
+_REPAINT_KINDS = frozenset(
+    {"query-finish", "query-abort", "replan", "degraded-replan", "batch-applied"}
+)
+
+
+def _fmt_bytes(value: float) -> str:
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            return f"{value:7.1f} {unit}"
+        value /= 1024.0
+    return f"{value:7.1f} TB"
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    filled = int(round(min(1.0, max(0.0, fraction)) * width))
+    return "█" * filled + "·" * (width - filled)
+
+
+class TelemetryTop:
+    """Incremental reducer over the event stream plus a screen painter.
+
+    Attach to a live bus with :meth:`attach`; every ``refresh_events``
+    events (or any lifecycle event) the status block repaints.  All state
+    updates are O(1) per event so the view never becomes the bottleneck
+    it is meant to watch.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        refresh_events: int = 500,
+        max_links: int = 8,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.refresh_events = max(1, refresh_events)
+        self.max_links = max_links
+        self.sim_now = 0.0
+        self.events_seen = 0
+        self.queries_finished = 0
+        self.queries_aborted = 0
+        self.replans = 0
+        self.batches = 0
+        self.retries = 0
+        self.abandons = 0
+        self.delivered_bytes = 0.0
+        self.active_flows = 0
+        self.parked_flows = 0
+        self.last_qct: Optional[float] = None
+        #: Latest utilization sample per (site, direction).
+        self.link_state: Dict[Tuple[str, str], float] = {}
+        self._since_paint = 0
+        self._painted_lines = 0
+
+    # -- event folding --------------------------------------------------
+
+    def attach(self, bus: TelemetryBus) -> None:
+        bus.subscribe(self.on_event)
+
+    def on_event(self, event: TelemetryEvent) -> None:
+        self.events_seen += 1
+        if event.t is not None and event.t > self.sim_now:
+            self.sim_now = event.t
+        kind = event.kind
+        if kind == "link-sample":
+            capacity = float(event.attrs["capacity_bps"])
+            used = float(event.attrs["used_bps"])
+            key = (str(event.attrs["site"]), str(event.attrs["direction"]))
+            self.link_state[key] = used / capacity if capacity > 0 else 0.0
+        elif kind == "flows-sample":
+            self.active_flows = int(event.attrs["active"])
+            self.parked_flows = int(event.attrs["parked"])
+        elif kind == "flow-finish":
+            if event.attrs.get("wan"):
+                self.delivered_bytes += float(event.attrs["num_bytes"])
+        elif kind == "query-finish":
+            self.queries_finished += 1
+            self.last_qct = float(event.attrs["qct"])
+        elif kind == "query-abort":
+            self.queries_aborted += 1
+        elif kind in ("replan", "plan", "degraded-replan"):
+            self.replans += 1
+        elif kind == "batch-applied":
+            self.batches += 1
+        elif kind == "retry":
+            self.retries += 1
+        elif kind == "abandon":
+            self.abandons += 1
+        self._since_paint += 1
+        if self._since_paint >= self.refresh_events or kind in _REPAINT_KINDS:
+            self.paint()
+
+    # -- painting -------------------------------------------------------
+
+    def render_lines(self) -> List[str]:
+        lines = [
+            (
+                f"sim {self.sim_now:10.3f}s  events {self.events_seen:>7}  "
+                f"queries {self.queries_finished}"
+                + (f" (+{self.queries_aborted} aborted)" if self.queries_aborted else "")
+                + (f"  last qct {self.last_qct:.3f}s" if self.last_qct is not None else "")
+            ),
+            (
+                f"plans {self.replans}  batches {self.batches}  "
+                f"retries {self.retries}  abandoned {self.abandons}  "
+                f"flows {self.active_flows} active / {self.parked_flows} parked  "
+                f"delivered {_fmt_bytes(self.delivered_bytes).strip()}"
+            ),
+        ]
+        busiest = sorted(
+            self.link_state.items(), key=lambda item: -item[1]
+        )[: self.max_links]
+        for (site, direction), utilization in busiest:
+            arrow = "↑" if direction == "up" else "↓"
+            lines.append(
+                f"  {site:>16} {arrow} |{_bar(utilization)}| {utilization * 100:5.1f}%"
+            )
+        return lines
+
+    def paint(self) -> None:
+        self._since_paint = 0
+        lines = self.render_lines()
+        out = self.stream
+        if out.isatty() and self._painted_lines:
+            out.write(f"\x1b[{self._painted_lines}F\x1b[J")
+        elif self._painted_lines:
+            out.write("\n")
+        for line in lines:
+            out.write(line + "\n")
+        out.flush()
+        self._painted_lines = len(lines)
+
+    def close(self) -> None:
+        """Final repaint so the last state is always on screen."""
+        self.paint()

@@ -10,13 +10,18 @@ topology for the placement LP.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.obs import instrument
 from repro.wan.topology import Site, WanTopology
 from repro.wan.transfer import TransferResult
 
 _Direction = str  # "up" | "down"
+
+#: Ground-truth capacity oracle ``(site, direction, now) -> bps`` — the
+#: scheduler's :meth:`~repro.wan.transfer.TransferScheduler.effective_bps`.
+TruthFn = Callable[[str, _Direction, float], float]
 
 
 @dataclass
@@ -55,20 +60,51 @@ class BandwidthEstimator:
             throughput_bps
         )
 
-    def observe_transfers(self, results: List[TransferResult]) -> None:
+    def observe_transfers(
+        self, results: List[TransferResult], truth: Optional[TruthFn] = None
+    ) -> None:
         """Fold a batch of finished transfers into the estimates.
 
         A WAN transfer is a sample of both its source uplink and its
         destination downlink (it may under-estimate whichever was not the
         bottleneck; the EWMA and repeated sampling wash that out, which is
         the same simplification the paper makes).
+
+        When ``truth`` is supplied (the scheduler's effective-capacity
+        oracle) and the telemetry bus is live, every sample also emits an
+        estimator-sample event pairing the post-update estimate with the
+        true effective capacity at the transfer's finish time — the
+        estimator-error series WANify argues the planner needs.
         """
+        telemetry = instrument.current().telemetry
         for result in results:
             transfer = result.transfer
             if transfer.src == transfer.dst:
                 continue
             self.observe(transfer.src, "up", result.throughput_bps)
             self.observe(transfer.dst, "down", result.throughput_bps)
+            if telemetry.enabled and result.throughput_bps > 0:
+                for site, direction in (
+                    (transfer.src, "up"),
+                    (transfer.dst, "down"),
+                ):
+                    estimate = (
+                        self.uplink(site) if direction == "up" else self.downlink(site)
+                    )
+                    true_bps = (
+                        truth(site, direction, result.finish_time)
+                        if truth is not None
+                        else None
+                    )
+                    telemetry.emit(
+                        "estimator-sample",
+                        t=result.finish_time,
+                        site=site,
+                        direction=direction,
+                        observed_bps=result.throughput_bps,
+                        estimate_bps=estimate,
+                        true_bps=true_bps,
+                    )
 
     def uplink(self, site: str) -> float:
         """Estimated uplink; falls back to the configured topology value."""

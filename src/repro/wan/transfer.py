@@ -29,7 +29,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TopologyError
 from repro.obs import instrument
@@ -102,6 +102,9 @@ class _Flow:
     rate: float = 0.0
     parked_seconds: float = 0.0
     failed: bool = False
+    #: Telemetry-only: whether the last round left this flow parked, so
+    #: flow-park events mark episode starts rather than every round.
+    was_parked: bool = False
 
 
 class TransferScheduler:
@@ -147,6 +150,9 @@ class TransferScheduler:
         self.propagation_seconds = propagation_seconds
         self.faults = faults
         self.stall_timeout_seconds = stall_timeout_seconds
+        # True while the previous telemetry-sampled round parked flows;
+        # keeps per-flow park bookkeeping off the fault-free hot path.
+        self._had_parked = False
         unknown = set(self.profiles) - set(topology.site_names)
         if unknown:
             raise TopologyError(f"profiles name unknown sites {sorted(unknown)}")
@@ -201,7 +207,11 @@ class TransferScheduler:
         that popping the head of a list costs.
         """
         self._check_sites(transfers)
-        sanitizer = instrument.current().sanitizer
+        obs = instrument.current()
+        sanitizer = obs.sanitizer
+        telemetry = obs.telemetry
+        site_multipliers: Dict[str, float] = {}
+        pending_samples: Dict[_Resource, List[float]] = {}
         counter = itertools.count()
         flows = [
             _Flow(flow_id=next(counter), transfer=transfer, remaining=transfer.num_bytes)
@@ -230,16 +240,33 @@ class TransferScheduler:
             ):
                 flow = pending[head]
                 head += 1
+                if telemetry.enabled:
+                    telemetry.emit(
+                        "flow-start",
+                        t=now,
+                        src=flow.transfer.src,
+                        dst=flow.transfer.dst,
+                        num_bytes=flow.transfer.num_bytes,
+                        tag=flow.transfer.tag,
+                        wan=flow.transfer.src != flow.transfer.dst,
+                    )
                 if flow.remaining <= _EPSILON_BYTES:
                     finish_times[flow.flow_id] = max(
                         now, self._effective_start(flow.transfer)
                     )
+                    if telemetry.enabled:
+                        self._emit_flow_finish(
+                            telemetry, flow, finish_times[flow.flow_id]
+                        )
                 else:
                     active.append(flow)
             if not active:
                 continue
 
-            self._assign_rates(active, now)
+            sample: Optional[Dict[str, Any]] = (
+                {} if telemetry.enabled else None
+            )
+            self._assign_rates(active, now, sample)
             filling_rounds += 1
             next_arrival = (
                 self._effective_start(pending[head].transfer)
@@ -247,6 +274,11 @@ class TransferScheduler:
                 else None
             )
             horizon = self._next_event_horizon(active, next_arrival, now)
+            if sample is not None:
+                self._emit_round_samples(
+                    telemetry, sample, now, horizon, site_multipliers,
+                    pending_samples,
+                )
             for flow in active:
                 if flow.rate > 0:
                     flow.remaining -= flow.rate * horizon
@@ -262,6 +294,8 @@ class TransferScheduler:
             for flow in active:
                 if flow.remaining <= _EPSILON_BYTES:
                     finish_times[flow.flow_id] = now
+                    if telemetry.enabled:
+                        self._emit_flow_finish(telemetry, flow, now)
                 elif (
                     flow.rate <= 0.0
                     and flow.parked_seconds
@@ -269,10 +303,22 @@ class TransferScheduler:
                 ):
                     flow.failed = True
                     finish_times[flow.flow_id] = now
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            "flow-fail",
+                            t=now,
+                            src=flow.transfer.src,
+                            dst=flow.transfer.dst,
+                            num_bytes=flow.transfer.num_bytes,
+                            tag=flow.transfer.tag,
+                            parked_seconds=flow.parked_seconds,
+                        )
                 else:
                     still_active.append(flow)
             active = still_active
 
+        if telemetry.enabled:
+            self._flush_link_samples(telemetry, pending_samples)
         return (
             [
                 TransferResult(
@@ -369,6 +415,160 @@ class TransferScheduler:
             multiplier *= self.faults.link_multiplier(site, now)
         return multiplier
 
+    def effective_bps(self, site: str, direction: str, now: float) -> float:
+        """True effective link capacity at ``now``: nominal × multiplier.
+
+        The ground truth the bandwidth estimator is judged against
+        (estimator-sample telemetry); ``direction`` is ``"up"`` or
+        ``"down"``.
+        """
+        if direction == "up":
+            nominal = self.topology.uplink(site)
+        elif direction == "down":
+            nominal = self.topology.downlink(site)
+        else:
+            raise TopologyError(f"direction must be 'up' or 'down', got {direction!r}")
+        return nominal * self._capacity_multiplier(site, now)
+
+    def _emit_flow_finish(self, telemetry, flow: _Flow, finish: float) -> None:
+        """flow-finish telemetry, with achieved throughput over the flow."""
+        start = self._effective_start(flow.transfer)
+        seconds = finish - start
+        throughput = flow.transfer.num_bytes / seconds if seconds > 0 else 0.0
+        telemetry.emit(
+            "flow-finish",
+            t=finish,
+            src=flow.transfer.src,
+            dst=flow.transfer.dst,
+            num_bytes=flow.transfer.num_bytes,
+            tag=flow.transfer.tag,
+            wan=flow.transfer.src != flow.transfer.dst,
+            seconds=seconds,
+            throughput_bps=throughput,
+            parked_seconds=flow.parked_seconds,
+        )
+
+    def _emit_round_samples(
+        self,
+        telemetry,
+        sample: Dict[str, Any],
+        now: float,
+        horizon: float,
+        site_multipliers: Dict[str, float],
+        pending_samples: Dict[_Resource, List[float]],
+    ) -> None:
+        """Per-round link occupancy telemetry (telemetry-on path only).
+
+        Consumes the aggregates :meth:`_assign_rates` collected for this
+        round, so the per-round cost is O(resources in use).  Link
+        samples are coalesced: contiguous rounds in which a link keeps
+        the same capacity and flow count extend one pending ``[start,
+        end, bytes, capacity_bps, flows]`` segment (accumulating the
+        bytes carried) instead of emitting per round.  A segment is
+        flushed as a single link-sample whose ``used_bps`` is the
+        byte-weighted mean rate over the segment — so ``used_bps`` ×
+        ``dt`` still integrates to the bytes the link actually carried,
+        and utilization series reconcile with the sanitizer's byte
+        conservation — when the link's capacity or flow count changes,
+        the link goes idle, or the simulation drains
+        (:meth:`_flush_link_samples`).  Also emits capacity-epoch events
+        when a site's effective multiplier changes between rounds,
+        flow-park at park-episode starts, and one flows-sample per round
+        with occupancy counts.
+        """
+        parked = sample["parked"]
+        for flow in parked:
+            if not flow.was_parked:
+                flow.was_parked = True
+                telemetry.emit(
+                    "flow-park",
+                    t=now,
+                    src=flow.transfer.src,
+                    dst=flow.transfer.dst,
+                    tag=flow.transfer.tag,
+                    remaining_bytes=flow.remaining,
+                )
+        capacities = sample["capacity"]
+        residual = sample["residual"]
+        users = sample["users"]
+        end = now + horizon
+        pending_get = pending_samples.get
+        # Insertion order of the capacity map follows deterministic flow
+        # order, so iteration needs no sort to stay reproducible.
+        for resource, capacity in capacities.items():
+            rate = capacity - residual[resource]
+            flows_on = len(users[resource])
+            segment = pending_get(resource)
+            if (
+                segment is not None
+                and segment[1] == now
+                and segment[3] == capacity
+                and segment[4] == flows_on
+            ):
+                # Contiguous, same capacity, same flow count: extend the
+                # segment and accumulate the bytes this round carries.
+                segment[1] = end
+                segment[2] += rate * horizon
+                continue
+            direction, site = resource
+            # A multiplier change always changes capacity_bps, so epoch
+            # detection only needs to run on segment breaks.
+            multiplier = self._capacity_multiplier(site, now)
+            if site_multipliers.get(site) != multiplier:
+                site_multipliers[site] = multiplier
+                telemetry.emit(
+                    "capacity-epoch", t=now, site=site, multiplier=multiplier
+                )
+            if segment is not None:
+                duration = segment[1] - segment[0]
+                telemetry.emit(
+                    "link-sample",
+                    t=segment[0],
+                    site=site,
+                    direction=direction,
+                    used_bps=segment[2] / duration if duration > 0 else 0.0,
+                    capacity_bps=segment[3],
+                    flows=int(segment[4]),
+                    dt=duration,
+                )
+            pending_samples[resource] = [
+                now, end, rate * horizon, capacity, flows_on,
+            ]
+        if len(pending_samples) > len(capacities):
+            idle = {
+                resource: pending_samples.pop(resource)
+                for resource in list(pending_samples)
+                if resource not in capacities
+            }
+            self._flush_link_samples(telemetry, idle)
+        telemetry.emit(
+            "flows-sample",
+            t=now,
+            active=sample["wan"] - len(parked),
+            parked=len(parked),
+            lan=sample["lan"],
+            dt=horizon,
+        )
+
+    @staticmethod
+    def _flush_link_samples(
+        telemetry, pending_samples: Dict[_Resource, List[float]]
+    ) -> None:
+        """Emit every pending coalesced link segment and clear the map."""
+        for (direction, site), segment in pending_samples.items():
+            duration = segment[1] - segment[0]
+            telemetry.emit(
+                "link-sample",
+                t=segment[0],
+                site=site,
+                direction=direction,
+                used_bps=segment[2] / duration if duration > 0 else 0.0,
+                capacity_bps=segment[3],
+                flows=int(segment[4]),
+                dt=duration,
+            )
+        pending_samples.clear()
+
     def _next_capacity_change(self, now: float) -> Optional[float]:
         """Earliest upcoming profile epoch or fault window boundary."""
         upcoming = [
@@ -380,13 +580,37 @@ class TransferScheduler:
         upcoming = [epoch for epoch in upcoming if epoch is not None]
         return min(upcoming) if upcoming else None
 
-    def _assign_rates(self, active: List[_Flow], now: float = 0.0) -> None:
-        """Max-min fair (progressive filling) rate assignment."""
+    def _assign_rates(
+        self,
+        active: List[_Flow],
+        now: float = 0.0,
+        sample: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Max-min fair (progressive filling) rate assignment.
+
+        When ``sample`` (an empty dict) is passed — the telemetry-on path
+        — it is filled with the per-resource aggregates link sampling
+        needs: the original capacities, the residual capacities after
+        filling (their difference is the carried rate, which
+        water-filling leaves behind for free), per-resource flow-id
+        sets, and the parked flows.  This keeps round sampling
+        O(resources) instead of adding a second O(flows) pass per round;
+        per-flow park bookkeeping only runs while a fault window is
+        actually parking flows.
+        """
         wan_flows = [flow for flow in active if flow.transfer.src != flow.transfer.dst]
         for flow in active:
             if flow.transfer.src == flow.transfer.dst:
                 flow.rate = self.lan_bps
+        if sample is not None:
+            sample["wan"] = len(wan_flows)
+            sample["lan"] = len(active) - len(wan_flows)
+            sample["parked"] = []
         if not wan_flows:
+            if sample is not None:
+                sample["capacity"] = {}
+                sample["residual"] = {}
+                sample["users"] = {}
             return
 
         capacity: Dict[_Resource, float] = {}
@@ -409,8 +633,10 @@ class TransferScheduler:
             users.setdefault(down, set()).add(flow.flow_id)
             flow_resources[flow.flow_id] = (up, down)
 
+        original_capacity = dict(capacity) if sample is not None else None
         unfrozen: Set[int] = {flow.flow_id for flow in wan_flows}
         rates: Dict[int, float] = {}
+        parked_possible = False
         while unfrozen:
             bottleneck: Optional[_Resource] = None
             bottleneck_share = math.inf
@@ -423,6 +649,8 @@ class TransferScheduler:
                     bottleneck_share = share
                     bottleneck = resource
             assert bottleneck is not None
+            if bottleneck_share <= 0.0:
+                parked_possible = True
             frozen_now = users[bottleneck] & unfrozen
             for flow_id in frozen_now:
                 rates[flow_id] = bottleneck_share
@@ -430,8 +658,27 @@ class TransferScheduler:
                 for resource in flow_resources[flow_id]:
                     capacity[resource] = max(0.0, capacity[resource] - bottleneck_share)
 
-        for flow in wan_flows:
-            flow.rate = rates[flow.flow_id]
+        if sample is None:
+            for flow in wan_flows:
+                flow.rate = rates[flow.flow_id]
+            return
+        if parked_possible or self._had_parked:
+            # Fault-window path: track park episodes per flow.
+            parked = sample["parked"]
+            for flow in wan_flows:
+                rate = rates[flow.flow_id]
+                flow.rate = rate
+                if rate <= 0.0:
+                    parked.append(flow)
+                elif flow.was_parked:
+                    flow.was_parked = False
+            self._had_parked = bool(parked)
+        else:
+            for flow in wan_flows:
+                flow.rate = rates[flow.flow_id]
+        sample["capacity"] = original_capacity
+        sample["residual"] = capacity
+        sample["users"] = users
 
     def _next_event_horizon(
         self, active: List[_Flow], next_arrival: Optional[float], now: float

@@ -47,8 +47,12 @@ class TestEndToEnd:
         assert report.deterministic
         assert report.trace_digests[0] == report.trace_digests[1]
         assert report.result_digests[0] == report.result_digests[1]
+        assert report.telemetry_digests[0] == report.telemetry_digests[1]
+        assert report.telemetry_digests[0] != ""
         assert report.spans > 0
+        assert report.telemetry_events > 0
         assert "DETERMINISTIC" in report.render()
+        assert "telemetry digests" in report.render()
 
     def test_different_seeds_differ(self):
         a = run_determinism_check(scheme="iridium", seed=11, queries=1)

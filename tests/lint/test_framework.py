@@ -24,7 +24,7 @@ class TestRegistry:
     def test_all_rules_registered(self):
         ids = sorted(rule.rule_id for rule in all_rules())
         assert ids == [
-            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
         ]
 
     def test_rules_for_none_returns_all(self):

@@ -250,3 +250,39 @@ class TestSelect:
         source = "import random\nok = x == 0.0\n"
         assert _rule_ids(source, select=["R004"]) == ["R004"]
         assert sorted(_rule_ids(source)) == ["R002", "R004"]
+
+
+class TestR008LibraryPrint:
+    @staticmethod
+    def _lib_ids(source, path="src/repro/wan/transfer.py"):
+        return [
+            f.rule_id
+            for f in lint_source(textwrap.dedent(source), path=path)
+        ]
+
+    def test_print_in_library_fires(self):
+        assert self._lib_ids('print("debug")\n') == ["R008"]
+
+    def test_print_outside_src_repro_is_fine(self):
+        assert self._lib_ids('print("ok")\n', path="benchmarks/bench_x.py") == []
+        assert self._lib_ids('print("ok")\n', path="tests/test_x.py") == []
+
+    def test_cli_modules_whitelisted(self):
+        for path in (
+            "src/repro/cli.py",
+            "src/repro/__main__.py",
+            "src/repro/lint/cli.py",
+            "src/repro/obs/top.py",
+        ):
+            assert self._lib_ids('print("ok")\n', path=path) == []
+
+    def test_method_named_print_is_fine(self):
+        assert self._lib_ids("obj.print()\n") == []
+
+    def test_pragma_suppresses(self):
+        assert self._lib_ids('print("x")  # lint: allow[R008]\n') == []
+
+    def test_windows_separators_normalized(self):
+        assert self._lib_ids(
+            'print("x")\n', path="src\\repro\\core\\controller.py"
+        ) == ["R008"]

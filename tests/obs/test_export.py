@@ -119,3 +119,74 @@ class TestChromeExport:
             validate_chrome_events(
                 [{"name": "x", "ph": "X", "pid": 1, "tid": 1}]
             )
+
+
+class TestFaultAnnotations:
+    """Chaos fault windows render inline on the simulated-clock process."""
+
+    @staticmethod
+    def _schedule():
+        import math
+
+        from repro.chaos.schedule import FaultEvent, FaultSchedule
+
+        return FaultSchedule(
+            events=[
+                FaultEvent(kind="link-blackout", site="a", start=1.0, end=3.0),
+                FaultEvent(
+                    kind="site-outage", site="b", start=2.0, end=math.inf
+                ),
+            ]
+        )
+
+    def test_finite_window_is_duration_event(self):
+        events = chrome_trace_events(build_trace(), faults=self._schedule())
+        validate_chrome_events(events)
+        blackout = [e for e in events if e["name"] == "fault:link-blackout"]
+        assert len(blackout) == 1
+        assert blackout[0]["ph"] == "X"
+        assert blackout[0]["ts"] == pytest.approx(1.0e6)
+        assert blackout[0]["dur"] == pytest.approx(2.0e6)
+        assert blackout[0]["cat"] == "fault"
+        assert blackout[0]["pid"] == 2  # simulated-clock process
+
+    def test_unbounded_window_is_instant_event(self):
+        events = chrome_trace_events(build_trace(), faults=self._schedule())
+        outage = [e for e in events if e["name"] == "fault:site-outage"]
+        assert len(outage) == 1
+        assert outage[0]["ph"] == "i"
+        assert "dur" not in outage[0]
+
+    def test_fault_shares_site_lane_with_spans(self):
+        """A fault on a site that has spans lands in that site's lane."""
+        events = chrome_trace_events(build_trace(), faults=self._schedule())
+        span_lane = {
+            e["tid"] for e in events
+            if e.get("ph") == "X" and e["pid"] == 2
+            and e.get("args", {}).get("site") == "a" and e.get("cat") != "fault"
+        }
+        fault_lane = {
+            e["tid"] for e in events if e["name"] == "fault:link-blackout"
+        }
+        assert fault_lane == span_lane
+
+    def test_export_chrome_accepts_faults(self, tmp_path):
+        path = tmp_path / "trace.json"
+        export_chrome(build_trace(), str(path), faults=self._schedule())
+        document = json.loads(path.read_text())
+        validate_chrome_events(document["traceEvents"])
+        assert any(
+            event.get("cat") == "fault" for event in document["traceEvents"]
+        )
+
+    def test_no_faults_is_unchanged(self):
+        tracer = build_trace()
+        assert chrome_trace_events(tracer) == chrome_trace_events(
+            tracer, faults=None
+        )
+
+    def test_validation_rejects_instant_without_ts(self):
+        with pytest.raises(ObservabilityError):
+            validate_chrome_events(
+                [{"name": "x", "ph": "i", "pid": 1, "tid": 1}]
+            )

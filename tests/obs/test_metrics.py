@@ -108,3 +108,48 @@ class TestNullMetrics:
         assert NULL_METRICS.snapshot() == []
         assert NULL_METRICS.series() == []
         assert not NULL_METRICS.enabled
+
+
+class TestDeterministicDumps:
+    """Regression: dumps must not depend on call-site kwargs order."""
+
+    @staticmethod
+    def _populate(registry, swap_kwargs):
+        if swap_kwargs:
+            registry.counter("bytes", dst="b", src="a").inc(5)
+        else:
+            registry.counter("bytes", src="a", dst="b").inc(5)
+        registry.gauge("frac", site="x").set(0.5)
+        registry.histogram("lat", stage="map").observe(1.0)
+
+    def test_snapshot_identical_across_kwargs_order(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        self._populate(first, swap_kwargs=False)
+        self._populate(second, swap_kwargs=True)
+        assert json.dumps(first.snapshot()) == json.dumps(second.snapshot())
+
+    def test_labels_stored_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("bytes", zeta="z", alpha="a").inc(1)
+        (series,) = registry.series()
+        assert list(series.labels) == ["alpha", "zeta"]
+
+    def test_to_json_bytes_identical(self, tmp_path):
+        paths = []
+        for index, swap in enumerate((False, True)):
+            registry = MetricsRegistry()
+            self._populate(registry, swap_kwargs=swap)
+            path = tmp_path / f"metrics{index}.json"
+            registry.to_json(str(path))
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_series_sorted_regardless_of_creation_order(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("a_metric").inc()
+        first.counter("z_metric").inc()
+        second.counter("z_metric").inc()
+        second.counter("a_metric").inc()
+        assert [s.name for s in first.series()] == [
+            s.name for s in second.series()
+        ] == ["a_metric", "z_metric"]

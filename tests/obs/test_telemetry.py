@@ -1,0 +1,226 @@
+"""Telemetry bus: schema round-trip, no-op guard, digests, conservation.
+
+The heavier end-to-end properties (two-run digest equality, telemetry
+on/off bit-identity of sim metrics) run one small experiment each; they
+use ``charge_rdd_overhead=False`` because the RDD surcharge is a
+*measured wall time* folded into QCT by design.
+"""
+
+import pytest
+
+from repro.chaos.profiles import build_schedule
+from repro.chaos.runtime import ChaosConfig
+from repro.core.runner import run_experiment
+from repro.errors import ObservabilityError
+from repro.obs import instrument
+from repro.obs.series import wan_bytes_carried
+from repro.obs.telemetry import (
+    EVENT_KINDS,
+    NULL_TELEMETRY,
+    TelemetryBus,
+    TelemetryEvent,
+    iter_kind,
+    load_jsonl,
+    telemetry_digest,
+    write_jsonl,
+)
+from repro.systems.base import SystemConfig
+from repro.wan.presets import ec2_ten_sites
+from repro.workloads import build_workload
+
+SCALE = 0.15
+QUERIES = 2
+
+
+def run_instrumented(chaos_profile=None, **config_overrides):
+    topology = ec2_ten_sites()
+    chaos = None
+    if chaos_profile is not None:
+        chaos = ChaosConfig(
+            faults=build_schedule(chaos_profile, topology, seed=13)
+        )
+    config = SystemConfig(
+        seed=11, partition_records=8, charge_rdd_overhead=False,
+        **config_overrides,
+    )
+    bus = TelemetryBus()
+    with instrument.instrumented(telemetry=bus):
+        result = run_experiment(
+            "bohr",
+            lambda: build_workload(
+                "bigdata-aggregation", topology, seed=7, scale=SCALE
+            ),
+            topology,
+            config=config,
+            query_limit=QUERIES,
+            chaos=chaos,
+        )
+    return bus, result
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    return run_instrumented()
+
+
+class TestEventSchema:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObservabilityError, match="unknown telemetry"):
+            TelemetryEvent(seq=0, kind="no-such-kind")
+
+    def test_non_finite_time_rejected(self):
+        with pytest.raises(ObservabilityError, match="finite"):
+            TelemetryEvent(seq=0, kind="flow-start", t=float("inf"))
+
+    def test_dict_round_trip(self):
+        event = TelemetryEvent(
+            seq=3, kind="flow-finish", t=1.5,
+            attrs={"src": "tokyo", "num_bytes": 10.0, "wan": True},
+        )
+        assert TelemetryEvent.from_dict(event.to_dict()) == event
+
+    def test_to_dict_sorts_attrs(self):
+        event = TelemetryEvent(
+            seq=0, kind="plan", attrs={"zeta": 1, "alpha": 2}
+        )
+        assert list(event.to_dict()["attrs"]) == ["alpha", "zeta"]
+
+    def test_iter_kind_validates(self):
+        with pytest.raises(ObservabilityError, match="unknown telemetry kinds"):
+            iter_kind([], "flow-start", "bogus")
+
+
+class TestBus:
+    def test_seq_monotonic_and_subscribers(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("query-start", t=0.0, dataset="d0")
+        bus.emit("query-finish", t=2.0, dataset="d0", qct=2.0)
+        assert [event.seq for event in bus.events] == [0, 1]
+        assert seen == bus.events
+        assert bus.counts_by_kind() == {"query-start": 1, "query-finish": 1}
+
+    def test_null_bus_records_nothing(self):
+        NULL_TELEMETRY.emit("flow-start", t=0.0, src="a")
+        NULL_TELEMETRY.subscribe(lambda event: None)
+        assert NULL_TELEMETRY.events == []
+        assert not NULL_TELEMETRY.enabled
+
+    def test_disabled_run_emits_zero_events(self):
+        """The no-op guard: without a bus installed, hot paths emit nothing."""
+        topology = ec2_ten_sites()
+        with instrument.instrumented() as obs:
+            run_experiment(
+                "bohr",
+                lambda: build_workload(
+                    "bigdata-aggregation", topology, seed=7, scale=SCALE
+                ),
+                topology,
+                config=SystemConfig(
+                    seed=11, partition_records=8, charge_rdd_overhead=False
+                ),
+                query_limit=1,
+            )
+            assert obs.telemetry.events == []
+        assert NULL_TELEMETRY.events == []
+
+
+class TestJsonlArchive:
+    def test_round_trip_exact(self, recorded, tmp_path):
+        bus, _ = recorded
+        path = str(tmp_path / "tele.jsonl")
+        count = write_jsonl(bus, path)
+        header, events = load_jsonl(path)
+        assert count == len(bus.events)
+        assert header["version"] == 1
+        assert header["events"] == count
+        assert events == bus.events
+        assert telemetry_digest(events) == telemetry_digest(bus)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            '{"telemetry": "repro.obs.telemetry", "version": 99, "events": 0}\n'
+        )
+        with pytest.raises(ObservabilityError, match="v99"):
+            load_jsonl(str(path))
+
+    def test_rejects_headerless_file(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"span_id": 1}\n')
+        with pytest.raises(ObservabilityError, match="header"):
+            load_jsonl(str(path))
+
+
+class TestDigest:
+    def test_wall_attrs_excluded(self):
+        fast = TelemetryEvent(
+            seq=0, kind="plan", attrs={"scheme": "bohr", "lp_wall_seconds": 0.01}
+        )
+        slow = TelemetryEvent(
+            seq=0, kind="plan", attrs={"scheme": "bohr", "lp_wall_seconds": 9.99}
+        )
+        assert telemetry_digest([fast]) == telemetry_digest([slow])
+
+    def test_sim_content_changes_digest(self):
+        a = TelemetryEvent(seq=0, kind="job-finish", t=1.0, attrs={"qct": 1.0})
+        b = TelemetryEvent(seq=0, kind="job-finish", t=1.0, attrs={"qct": 2.0})
+        assert telemetry_digest([a]) != telemetry_digest([b])
+
+    def test_two_same_seed_runs_digest_identical(self):
+        first, _ = run_instrumented()
+        second, _ = run_instrumented()
+        assert len(first.events) == len(second.events)
+        assert telemetry_digest(first) == telemetry_digest(second)
+
+    def test_two_same_seed_chaos_runs_digest_identical(self):
+        first, _ = run_instrumented(chaos_profile="flaky-wan")
+        second, _ = run_instrumented(chaos_profile="flaky-wan")
+        assert telemetry_digest(first) == telemetry_digest(second)
+
+
+class TestBitIdentity:
+    def test_sim_metrics_identical_with_telemetry_on_vs_off(self):
+        """Recording must be a pure observer of the simulation."""
+        _, with_bus = run_instrumented()
+        topology = ec2_ten_sites()
+        without = run_experiment(
+            "bohr",
+            lambda: build_workload(
+                "bigdata-aggregation", topology, seed=7, scale=SCALE
+            ),
+            topology,
+            config=SystemConfig(
+                seed=11, partition_records=8, charge_rdd_overhead=False
+            ),
+            query_limit=QUERIES,
+        )
+        assert [run.qct for run in with_bus.runs] == [
+            run.qct for run in without.runs
+        ]
+        assert with_bus.mean_qct == without.mean_qct
+        assert with_bus.prep.moved_bytes == without.prep.moved_bytes
+
+
+class TestConservation:
+    def test_link_samples_integrate_to_delivered_bytes(self, recorded):
+        """used_bps × dt summed over uplinks equals delivered WAN bytes.
+
+        Chaos-free run: no partial/failed attempts, so every sampled byte
+        belongs to a finished WAN flow — the telemetry-side mirror of the
+        sanitizer's byte-conservation invariant.
+        """
+        bus, _ = recorded
+        finished = sum(
+            float(event.attrs["num_bytes"])
+            for event in iter_kind(bus.events, "flow-finish")
+            if event.attrs.get("wan")
+        )
+        for direction in ("up", "down"):
+            carried = wan_bytes_carried(bus.events, direction=direction)
+            assert carried == pytest.approx(finished, rel=1e-6)
+
+    def test_event_kinds_all_known(self, recorded):
+        bus, _ = recorded
+        assert set(bus.counts_by_kind()) <= EVENT_KINDS

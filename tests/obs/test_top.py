@@ -1,0 +1,80 @@
+"""The live terminal view: event folding and painting."""
+
+import io
+
+from repro.obs.telemetry import TelemetryBus
+from repro.obs.top import TelemetryTop
+
+
+def _view(refresh=10_000):
+    stream = io.StringIO()
+    stream.isatty = lambda: False  # plain snapshot mode
+    return TelemetryTop(stream=stream, refresh_events=refresh), stream
+
+
+class TestFolding:
+    def test_counters_track_lifecycle_events(self):
+        view, _ = _view()
+        bus = TelemetryBus()
+        view.attach(bus)
+        bus.emit("query-start", t=0.0, dataset="d0", scheme="bohr")
+        bus.emit("link-sample", t=0.0, site="a", direction="up",
+                 used_bps=50.0, capacity_bps=100.0, flows=1, dt=1.0)
+        bus.emit("flows-sample", t=0.0, active=2, parked=1, lan=0, dt=1.0)
+        bus.emit("flow-finish", t=1.0, src="a", dst="b", num_bytes=256.0,
+                 wan=True, tag="s", seconds=1.0, throughput_bps=256.0,
+                 parked_seconds=0.0)
+        bus.emit("retry", t=1.0, src="a", dst="b", num_bytes=1.0, attempt=1,
+                 backoff_seconds=0.5, resume_at=1.5)
+        bus.emit("query-finish", t=2.0, dataset="d0", scheme="bohr", qct=2.0,
+                 wan_bytes=256.0, lost_bytes=0.0)
+        assert view.queries_finished == 1
+        assert view.retries == 1
+        assert view.delivered_bytes == 256.0
+        assert view.active_flows == 2 and view.parked_flows == 1
+        assert view.link_state[("a", "up")] == 0.5
+        assert view.sim_now == 2.0
+        assert view.last_qct == 2.0
+
+    def test_lan_flows_not_counted_as_delivered(self):
+        view, _ = _view()
+        bus = TelemetryBus()
+        view.attach(bus)
+        bus.emit("flow-finish", t=1.0, src="a", dst="a", num_bytes=99.0,
+                 wan=False, tag="s", seconds=0.0, throughput_bps=0.0,
+                 parked_seconds=0.0)
+        assert view.delivered_bytes == 0.0
+
+
+class TestPainting:
+    def test_lifecycle_kind_forces_repaint(self):
+        view, stream = _view(refresh=10_000)
+        bus = TelemetryBus()
+        view.attach(bus)
+        bus.emit("query-finish", t=1.0, dataset="d0", scheme="bohr", qct=1.0,
+                 wan_bytes=0.0, lost_bytes=0.0)
+        assert "queries 1" in stream.getvalue()
+
+    def test_refresh_cadence(self):
+        view, stream = _view(refresh=3)
+        bus = TelemetryBus()
+        view.attach(bus)
+        for index in range(2):
+            bus.emit("link-sample", t=float(index), site="a", direction="up",
+                     used_bps=1.0, capacity_bps=2.0, flows=1, dt=1.0)
+        assert stream.getvalue() == ""  # below cadence, nothing painted
+        bus.emit("link-sample", t=2.0, site="a", direction="up",
+                 used_bps=1.0, capacity_bps=2.0, flows=1, dt=1.0)
+        assert "50.0%" in stream.getvalue()
+
+    def test_close_paints_final_state(self):
+        view, stream = _view()
+        view.close()
+        assert "sim" in stream.getvalue()
+
+    def test_render_lines_shows_busiest_links(self):
+        view, _ = _view()
+        view.link_state[("a", "up")] = 0.9
+        view.link_state[("b", "down")] = 0.1
+        lines = view.render_lines()
+        assert any("a" in line and "90.0%" in line for line in lines)
