@@ -3,10 +3,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint determinism sanitize chaos test bench-smoke profile telemetry check
+.PHONY: lint lint-static determinism sanitize chaos test bench-smoke profile telemetry check
 
-lint:  ## static analysis: rules R001-R008 over the shipped tree
+lint:  ## static analysis: per-file rules R001-R008 over the shipped tree
 	$(PYTHON) -m repro.lint src/repro benchmarks
+
+lint-static:  ## whole-program passes R009-R012, gated on lint-baseline.json
+	$(PYTHON) -m repro.lint --static --graph \
+		--baseline lint-baseline.json \
+		--sarif lint.sarif --shared-state shared_state.json \
+		src/repro benchmarks
 
 determinism:  ## two-run same-seed trace-digest determinism smoke
 	$(PYTHON) -m repro.lint --determinism --queries 2
@@ -36,4 +42,4 @@ telemetry:  ## chaos run with telemetry capture + HTML dashboard render
 		--queries 2 --chaos flaky-wan --telemetry telemetry.jsonl
 	$(PYTHON) -m repro report telemetry.jsonl --out report.html
 
-check: lint determinism sanitize chaos test bench-smoke telemetry  ## everything CI gates on
+check: lint lint-static determinism sanitize chaos test bench-smoke telemetry  ## everything CI gates on

@@ -22,8 +22,9 @@ trace-event format), ``--metrics FILE`` (metrics snapshot JSON) and
 sim-clock monotonicity, LP feasibility — non-zero exit on violation);
 ``inspect`` renders a saved JSONL trace as a per-stage latency
 breakdown and can convert it to the Chrome format; ``lint`` runs the
-project's simulation-aware static analysis (rules R001–R008) and the
-two-run ``--determinism`` smoke.  ``--chaos PROFILE`` (with
+project's simulation-aware static analysis (per-file rules R001–R008,
+whole-program passes R009–R012 with ``--static``) and the two-run
+``--determinism`` smoke.  ``--chaos PROFILE`` (with
 ``--chaos-seed``) injects a deterministic fault schedule — degraded and
 blacked-out links, site outages, stragglers, lost task waves — and runs
 the scheme on the failure-aware runtime (retries with exponential
@@ -228,8 +229,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint_cmd = commands.add_parser(
         "lint",
-        help="simulation-aware static analysis (R001-R008) + "
-        "determinism smoke",
+        help="simulation-aware static analysis (R001-R008, --static "
+        "adds whole-program R009-R012) + determinism smoke",
     )
     add_lint_arguments(lint_cmd)
     return parser

@@ -1,0 +1,193 @@
+"""Committed findings baseline with strict-on-new semantics.
+
+Whole-program passes over a living codebase surface findings that are
+*accepted* — a registry that is mutated on purpose, a memo cache with a
+reset hook.  Those go into ``lint-baseline.json`` with a mandatory
+human justification; CI then fails only on findings **not** in the
+baseline, so the suite is strict for new code without demanding a
+big-bang cleanup of audited state.
+
+Baseline entries are keyed on ``(path, rule_id, message)`` — line
+numbers are deliberately excluded so unrelated edits shifting a file do
+not invalidate the baseline.  Paths are normalized to repo-relative
+forward-slash form, so CI (relative paths) and local test runs
+(absolute paths) agree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Path anchors: everything from the first occurrence of one of these
+#: segments onward identifies the file regardless of checkout location.
+_ANCHORS = ("src", "benchmarks", "tests", "examples")
+
+
+def normalize_path(path: str) -> str:
+    """Repo-relative forward-slash form of ``path`` for baseline keys."""
+    path = os.path.normpath(path).replace("\\", "/")
+    parts = [part for part in path.split("/") if part not in (".", "")]
+    for index, part in enumerate(parts):
+        if part in _ANCHORS:
+            return "/".join(parts[index:])
+    return "/".join(parts)
+
+
+def _key(path: str, rule_id: str, message: str) -> Tuple[str, str, str]:
+    return (normalize_path(path), rule_id, message)
+
+
+@dataclass
+class BaselineEntry:
+    path: str
+    rule_id: str
+    message: str
+    justification: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "path": self.path,
+            "rule_id": self.rule_id,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class BaselineDiff:
+    """Result of checking a finding set against a baseline."""
+
+    new: List[Finding] = field(default_factory=list)
+    known: List[Finding] = field(default_factory=list)
+    stale: List[BaselineEntry] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"baseline: {len(self.known)} accepted finding"
+            f"{'s' if len(self.known) != 1 else ''} suppressed, "
+            f"{len(self.new)} new, {len(self.stale)} stale"
+        ]
+        for entry in self.stale:
+            lines.append(
+                f"  stale baseline entry (fixed? remove it): "
+                f"{entry.path}: {entry.rule_id} {entry.message}"
+            )
+        return "\n".join(lines)
+
+
+class Baseline:
+    """The committed set of accepted findings."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: Dict[Tuple[str, str, str], BaselineEntry] = {}
+        for entry in entries:
+            self.entries[_key(entry.path, entry.rule_id, entry.message)] = entry
+
+    @classmethod
+    def load(cls, path: str, strict: bool = True) -> "Baseline":
+        """Read a baseline file.
+
+        With ``strict`` (the CI gate), entries whose justification is
+        empty or still the ``TODO`` marker are rejected.  Non-strict
+        loads (baseline regeneration, shared-state annotation) keep such
+        entries so real justifications written later are not lost.
+        """
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except OSError as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise LintError(f"baseline {path} is not valid JSON: {exc}") from exc
+        if payload.get("version") != BASELINE_VERSION:
+            raise LintError(
+                f"baseline {path} has version {payload.get('version')!r}; "
+                f"this tool reads version {BASELINE_VERSION}"
+            )
+        entries = []
+        for index, raw in enumerate(payload.get("findings", [])):
+            missing = {"path", "rule_id", "message"} - set(raw)
+            if missing:
+                raise LintError(
+                    f"baseline {path} entry {index} is missing {sorted(missing)}"
+                )
+            justification = str(raw.get("justification", "")).strip()
+            if not justification or justification.upper().startswith("TODO"):
+                if strict:
+                    raise LintError(
+                        f"baseline {path} entry {index} "
+                        f"({raw['rule_id']} in {raw['path']}) lacks a real "
+                        "justification — every accepted finding must say why"
+                    )
+                justification = justification or "TODO: justify or fix"
+            entries.append(BaselineEntry(
+                path=raw["path"], rule_id=raw["rule_id"],
+                message=raw["message"], justification=justification,
+            ))
+        return cls(entries)
+
+    def check(self, findings: Sequence[Finding]) -> BaselineDiff:
+        """Split ``findings`` into new vs baseline-accepted; report stale."""
+        diff = BaselineDiff()
+        matched = set()
+        for finding in findings:
+            key = _key(finding.path, finding.rule_id, finding.message)
+            if key in self.entries:
+                matched.add(key)
+                diff.known.append(finding)
+            else:
+                diff.new.append(finding)
+        diff.stale = [
+            entry for key, entry in sorted(self.entries.items())
+            if key not in matched
+        ]
+        return diff
+
+    def justification_for(self, finding: Finding) -> Optional[str]:
+        entry = self.entries.get(
+            _key(finding.path, finding.rule_id, finding.message)
+        )
+        return entry.justification if entry is not None else None
+
+
+def write_baseline(
+    findings: Sequence[Finding], path: str,
+    previous: Optional[Baseline] = None,
+) -> int:
+    """(Re)generate a baseline file from the current findings.
+
+    Justifications from ``previous`` are carried over for findings that
+    still match; new entries get an explicit ``TODO`` marker that
+    :meth:`Baseline.load` refuses, forcing a human to write the reason
+    before the file is usable in CI.  Returns the entry count.
+    """
+    seen = set()
+    entries: List[Dict[str, str]] = []
+    for finding in sorted(findings):
+        key = _key(finding.path, finding.rule_id, finding.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        justification = "TODO: justify or fix"
+        if previous is not None:
+            kept = previous.entries.get(key)
+            if kept is not None:
+                justification = kept.justification
+        entries.append(BaselineEntry(
+            path=normalize_path(finding.path), rule_id=finding.rule_id,
+            message=finding.message, justification=justification,
+        ).to_dict())
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True,
+                  ensure_ascii=False)
+        handle.write("\n")
+    return len(entries)

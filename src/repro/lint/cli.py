@@ -8,9 +8,57 @@ reproduces CI verdicts bit-for-bit.
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+import os
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import LintError
+
+
+def _run_static(
+    args: argparse.Namespace,
+    findings: "List",
+    static_select: Optional[List[str]],
+) -> "Tuple[List, str]":
+    """Build the project graph, run R009-R012, write side artifacts.
+
+    Returns the combined finding list and the graph summary text.
+    Parse failures are not double-reported: the per-file runner already
+    emitted R000 for every file in ``args.paths``.
+    """
+    from repro.lint.graph import ProjectGraph
+    from repro.lint.passes import (
+        build_inventory,
+        run_static_passes,
+        write_shared_state,
+    )
+
+    roots = [path for path in args.paths if os.path.isdir(path)]
+    if not roots:
+        raise LintError(
+            "--static/--graph need directory PATH arguments "
+            "(e.g. src/repro benchmarks)"
+        )
+    graph = ProjectGraph.build(roots)
+    if args.static:
+        static_findings, inventory = run_static_passes(
+            graph, select=static_select
+        )
+        findings = sorted(findings + static_findings)
+    else:
+        inventory = build_inventory(graph)
+    if args.shared_state:
+        baseline = None
+        if args.baseline and os.path.isfile(args.baseline):
+            from repro.lint.baseline import Baseline
+
+            baseline = Baseline.load(args.baseline, strict=False)
+        count = write_shared_state(inventory, args.shared_state,
+                                   baseline=baseline)
+        print(
+            f"shared-state inventory written to {args.shared_state} "
+            f"({count} entries)"
+        )
+    return findings, graph.describe()
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -29,7 +77,43 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--select",
         metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
+        help="comma-separated rule ids to run (default: all; "
+        "R009-R012 imply --static)",
+    )
+    parser.add_argument(
+        "--static",
+        action="store_true",
+        help="also run the whole-program passes R009-R012 (call-graph "
+        "taint, shared-state inventory, observer purity, unordered flow)",
+    )
+    parser.add_argument(
+        "--graph",
+        action="store_true",
+        help="print call-graph construction and resolution statistics",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="committed findings baseline (lint-baseline.json): fail "
+        "only on findings not in it; every entry needs a justification",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="regenerate the baseline from current findings (keeps "
+        "existing justifications; new entries get a TODO marker)",
+    )
+    parser.add_argument(
+        "--sarif",
+        metavar="FILE",
+        help="write all findings as SARIF 2.1.0 (baseline-accepted "
+        "findings carry suppressions)",
+    )
+    parser.add_argument(
+        "--shared-state",
+        metavar="FILE",
+        help="write the R010 shared-mutable-state inventory as JSON "
+        "(the serving-layer isolation TODO list)",
     )
     parser.add_argument(
         "--determinism",
@@ -72,6 +156,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
 
 def run_lint(args: argparse.Namespace) -> int:
     """Execute the lint pass (and optional determinism smoke); 0 if clean."""
+    from repro.lint.registry import STATIC_RULE_IDS
     from repro.lint.report import render_json, render_text
     from repro.lint.runner import lint_paths
 
@@ -82,12 +167,62 @@ def run_lint(args: argparse.Namespace) -> int:
     if args.select:
         select = [token.strip() for token in args.select.split(",") if token.strip()]
 
+    static_select: Optional[List[str]] = None
+    file_select = select
+    if select is not None:
+        static_select = [
+            rule_id for rule_id in select
+            if rule_id.upper() in STATIC_RULE_IDS
+        ]
+        file_select = [
+            rule_id for rule_id in select
+            if rule_id.upper() not in STATIC_RULE_IDS
+        ]
+        if static_select:
+            args.static = True
+
+    wants_graph = bool(
+        args.static or args.graph or args.write_baseline or args.shared_state
+    )
     exit_code = 0
     if args.paths:
-        findings, files_checked = lint_paths(args.paths, select=select)
+        findings, files_checked = lint_paths(args.paths, select=file_select)
+        if wants_graph:
+            findings, graph_report = _run_static(
+                args, findings, static_select
+            )
+        if args.baseline and not args.write_baseline:
+            from repro.lint.baseline import Baseline
+
+            baseline = Baseline.load(args.baseline)
+            diff = baseline.check(findings)
+            gated = diff.new
+        else:
+            baseline = None
+            diff = None
+            gated = findings
         renderer = render_json if args.format == "json" else render_text
-        print(renderer(findings, files_checked))
-        if findings:
+        print(renderer(gated, files_checked))
+        if diff is not None and args.format != "json":
+            print(diff.render())
+        if wants_graph and args.graph and args.format != "json":
+            print(graph_report)
+        if args.sarif:
+            from repro.lint.sarif import write_sarif
+
+            write_sarif(findings, args.sarif, baseline=baseline)
+            print(f"SARIF report written to {args.sarif}")
+        if args.write_baseline:
+            from repro.lint.baseline import Baseline, write_baseline
+
+            previous = None
+            if os.path.isfile(args.write_baseline):
+                previous = Baseline.load(args.write_baseline, strict=False)
+            count = write_baseline(findings, args.write_baseline,
+                                   previous=previous)
+            print(f"baseline written to {args.write_baseline} "
+                  f"({count} entries)")
+        elif gated:
             exit_code = 1
 
     if args.determinism:
@@ -114,7 +249,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint",
         description="Simulation-aware static analysis + determinism smoke "
-        "for the Bohr reproduction (rules R001-R008; see DESIGN.md).",
+        "for the Bohr reproduction (per-file rules R001-R008, "
+        "whole-program passes R009-R012; see DESIGN.md).",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

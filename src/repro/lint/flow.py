@@ -1,0 +1,144 @@
+"""Fixed-point dataflow over the call graph.
+
+Three small worklist engines cover everything the interprocedural passes
+need, each keeping *provenance* so findings can print the offending call
+chain instead of a bare verdict:
+
+* :func:`taint_callers` — backward taint: a function is tainted when it
+  contains a source directly or calls a tainted function.  Used by R009
+  (wall-clock/RNG laundering) and R011 (impurity propagation).
+* :func:`reachable_from` — forward reachability from a set of roots
+  along call edges.  Used by R011 (what can observer code reach).
+* :func:`propagate_property` — generic monotone boolean property over
+  "returns a call to" style dependency edges.  Used by R012
+  (set-returning helpers).
+
+All engines terminate: the lattices are finite (a function is tainted or
+not) and transfer functions are monotone, so each node changes state at
+most once.  Cycles in the call graph are handled for free — a cycle
+member that becomes tainted taints the rest of the cycle and the
+worklist drains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.lint.graph import ProjectGraph
+
+
+@dataclass(frozen=True)
+class Taint:
+    """Why one function is tainted.
+
+    ``source`` is the human description of the root cause (e.g.
+    ``"time.perf_counter()"``); ``via`` is the callee through which the
+    taint arrived, ``None`` when this function contains the source
+    itself.
+    """
+
+    source: str
+    via: Optional[str]
+
+
+def taint_callers(
+    graph: ProjectGraph, direct: Mapping[str, str]
+) -> Dict[str, Taint]:
+    """Propagate taint from directly-tainted functions to all callers.
+
+    ``direct`` maps function qualnames to a source description.  Returns
+    every tainted function (including the seeds) with provenance.
+    First-come provenance wins, which yields shortest-ish chains and
+    guarantees the ``via`` pointers are acyclic.
+    """
+    tainted: Dict[str, Taint] = {
+        qualname: Taint(source=desc, via=None)
+        for qualname, desc in direct.items()
+    }
+    queue = deque(tainted)
+    reverse = graph.reverse_edges
+    while queue:
+        callee = queue.popleft()
+        for caller in reverse.get(callee, ()):
+            if caller in tainted:
+                continue
+            tainted[caller] = Taint(
+                source=tainted[callee].source, via=callee
+            )
+            queue.append(caller)
+    return tainted
+
+
+def taint_chain(tainted: Mapping[str, Taint], start: str,
+                limit: int = 8) -> List[str]:
+    """The call chain from ``start`` down to the taint source."""
+    chain = [start]
+    current = tainted.get(start)
+    while current is not None and current.via is not None and len(chain) < limit:
+        chain.append(current.via)
+        current = tainted.get(current.via)
+    return chain
+
+
+def reachable_from(
+    graph: ProjectGraph, roots: Iterable[str]
+) -> Dict[str, Optional[str]]:
+    """Functions reachable from ``roots`` along call edges.
+
+    Returns ``function -> predecessor`` (``None`` for the roots), so a
+    path back to a root can be reconstructed for finding messages.
+    """
+    reached: Dict[str, Optional[str]] = {}
+    queue: deque = deque()
+    for root in roots:
+        if root not in reached:
+            reached[root] = None
+            queue.append(root)
+    while queue:
+        caller = queue.popleft()
+        for callee in graph.edges.get(caller, ()):
+            if callee in reached:
+                continue
+            reached[callee] = caller
+            queue.append(callee)
+    return reached
+
+
+def reach_chain(reached: Mapping[str, Optional[str]], target: str,
+                limit: int = 8) -> List[str]:
+    """Path from a root to ``target`` (root first)."""
+    chain = [target]
+    current = reached.get(target)
+    while current is not None and len(chain) < limit:
+        chain.append(current)
+        current = reached.get(current)
+    chain.reverse()
+    return chain
+
+
+def propagate_property(
+    seeds: Iterable[str], depends_on: Mapping[str, Set[str]]
+) -> Set[str]:
+    """Monotone boolean closure: ``f`` holds if seeded, or if any member
+    of ``depends_on[f]`` holds.
+
+    ``depends_on`` maps a function to the functions its property is
+    derived from (e.g. "f returns the result of g" for R012).  Runs to a
+    fixed point on arbitrary (cyclic) dependency graphs.
+    """
+    holds: Set[str] = set(seeds)
+    # reverse dependency map: when g gains the property, recheck its users
+    users: Dict[str, Set[str]] = {}
+    for func, deps in depends_on.items():
+        for dep in deps:
+            users.setdefault(dep, set()).add(func)
+    queue = deque(holds)
+    while queue:
+        gained = queue.popleft()
+        for user in users.get(gained, ()):
+            if user not in holds:
+                holds.add(user)
+                queue.append(user)
+    return holds

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import TYPE_CHECKING, Dict, Iterator, List, Tuple, Type
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Tuple, Type
 
 from repro.errors import LintError
 
@@ -18,6 +18,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.lint.visitor import LintContext
 
 _RULE_ID_RE = re.compile(r"^R\d{3}$")
+
+#: Interprocedural pass ids (see :mod:`repro.lint.passes`).  Listed here
+#: so pragma validation and reporters know the full rule-id space
+#: without importing the whole-program graph machinery.
+STATIC_RULE_IDS: Tuple[str, ...] = ("R009", "R010", "R011", "R012")
+
+#: Pseudo ids emitted by the framework itself: R000 marks a file that
+#: could not be parsed, W001 an unknown rule id inside a pragma.
+META_RULE_IDS: Tuple[str, ...] = ("R000", "W001")
 
 
 class LintRule:
@@ -65,6 +74,15 @@ def all_rules() -> List[LintRule]:
     import repro.lint.rules  # noqa: F401 - populate the registry
 
     return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def known_rule_ids() -> "FrozenSet[str]":
+    """Every id a pragma may legitimately reference."""
+    return (
+        frozenset(rule.rule_id for rule in all_rules())
+        | frozenset(STATIC_RULE_IDS)
+        | frozenset(META_RULE_IDS)
+    )
 
 
 def rules_for(selected: "List[str] | None" = None) -> List[LintRule]:

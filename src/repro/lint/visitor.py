@@ -16,11 +16,11 @@ facilities rules need:
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from repro.lint.findings import Finding
 from repro.lint.pragmas import is_suppressed, parse_pragmas
-from repro.lint.registry import LintRule
+from repro.lint.registry import LintRule, known_rule_ids
 
 
 class LintContext:
@@ -124,28 +124,83 @@ class LintContext:
         )
 
 
+def _suppression_span(
+    context: LintContext, where: ast.AST, line: int
+) -> "Tuple[int, int]":
+    """Line range on which a pragma suppresses a finding at ``where``.
+
+    The span of the enclosing statement: its full extent for simple
+    statements, the header only (up to the first body statement) for
+    compound ones — a pragma buried in a loop body must not silence a
+    finding on the loop's iterable.
+    """
+    start_line = line
+    end_line = line
+    if isinstance(where, ast.expr):
+        end_line = getattr(where, "end_lineno", None) or line
+    stmt: Optional[ast.AST] = where
+    while stmt is not None and not isinstance(stmt, ast.stmt):
+        stmt = context.parent(stmt)
+    if stmt is None:
+        return start_line, end_line
+    start_line = min(start_line, stmt.lineno)
+    body = getattr(stmt, "body", None)
+    if isinstance(body, list) and body:
+        header_end = body[0].lineno - 1
+    else:
+        header_end = getattr(stmt, "end_lineno", None) or end_line
+    return start_line, max(end_line, header_end)
+
+
 def run_rules(
     source: str, path: str, rules: Sequence[LintRule]
 ) -> List[Finding]:
     """Parse ``source`` and run every rule over it; returns sorted findings.
 
-    Syntax errors are reported as a pseudo-finding with rule id ``R000``
-    rather than raised, so one broken file cannot abort a whole lint run.
+    Parse failures (syntax errors, NUL bytes, …) are reported as a
+    pseudo-finding with rule id ``R000`` rather than raised, so one
+    broken file cannot abort a whole lint run.  Unknown rule ids inside
+    pragmas are reported as ``W001`` — a typo'd pragma silently
+    suppressing nothing is worse than a loud one.
+
+    A pragma suppresses a finding when it sits on any line of the
+    enclosing *simple* statement (so the trailing-comment idiom works on
+    continuation lines of a multi-line expression); for compound
+    statements (``for``/``if``/``def`` …) only the header lines count —
+    a pragma buried in a loop body must not silence a finding on the
+    loop's iterable.
     """
     try:
         tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
+    except (SyntaxError, ValueError) as exc:
+        # ValueError covers non-syntax parse failures (e.g. NUL bytes).
+        lineno = getattr(exc, "lineno", None) or 1
+        offset = getattr(exc, "offset", None) or 1
+        message = getattr(exc, "msg", None) or str(exc)
         return [
             Finding(
                 path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
+                line=lineno,
+                col=offset - 1,
                 rule_id="R000",
-                message=f"syntax error: {exc.msg}",
+                message=f"parse failure: {message}",
             )
         ]
     context = LintContext(tree, source, path)
     findings: List[Finding] = []
+    known_ids = known_rule_ids()
+    for lineno, rule_ids in sorted(context.pragmas.items()):
+        for rule_id in sorted(rule_ids):
+            if rule_id != "*" and rule_id not in known_ids:
+                findings.append(
+                    Finding(
+                        path=path, line=lineno, col=0, rule_id="W001",
+                        message=(
+                            f"pragma names unknown rule id {rule_id!r} "
+                            "and suppresses nothing — fix the id or drop it"
+                        ),
+                    )
+                )
     for node in ast.walk(tree):
         for rule in rules:
             if not isinstance(node, rule.node_types):
@@ -153,7 +208,11 @@ def run_rules(
             for where, message in rule.check(node, context):
                 line = getattr(where, "lineno", 1)
                 col = getattr(where, "col_offset", 0)
-                if is_suppressed(context.pragmas, line, rule.rule_id):
+                start_line, end_line = _suppression_span(context, where, line)
+                if any(
+                    is_suppressed(context.pragmas, candidate, rule.rule_id)
+                    for candidate in range(start_line, end_line + 1)
+                ):
                     continue
                 findings.append(
                     Finding(

@@ -204,9 +204,19 @@ class _NullMetric:
 
     __slots__ = ()
     name = ""
-    labels: Dict[str, str] = {}
     value = 0.0
-    samples: List[float] = []
+
+    # Fresh containers per read: a class-level ``labels = {}`` would be
+    # one dict shared by every null metric in the process, and a single
+    # stray ``metric.samples.append(...)`` would contaminate them all
+    # (flagged by the R010 shared-state inventory).
+    @property
+    def labels(self) -> Dict[str, str]:
+        return {}
+
+    @property
+    def samples(self) -> List[float]:
+        return []
 
     def inc(self, amount: float = 1.0) -> None:
         return None

@@ -213,7 +213,12 @@ class NullTelemetryBus:
     """Bus twin whose every operation is a cheap no-op."""
 
     enabled = False
-    events: List[TelemetryEvent] = []  # always empty; shared on purpose
+
+    @property
+    def events(self) -> List[TelemetryEvent]:
+        # Always empty, and fresh per read: a shared class-level list
+        # would let one stray append contaminate every null bus (R010).
+        return []
 
     def emit(self, kind: str, t: Optional[float] = None, **attrs: Any) -> None:
         return None

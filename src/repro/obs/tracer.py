@@ -157,7 +157,12 @@ class NullTracer:
     """Tracer twin whose every operation is a cheap no-op."""
 
     enabled = False
-    spans: List[Span] = []  # always empty; shared on purpose
+
+    @property
+    def spans(self) -> List[Span]:
+        # Always empty, and fresh per read: a shared class-level list
+        # would let one stray append contaminate every null tracer (R010).
+        return []
 
     def span(self, name: str, stage: str = "", **attrs: Any) -> _NullOpenSpan:
         return _NULL_OPEN_SPAN

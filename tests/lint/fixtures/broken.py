@@ -1,0 +1,4 @@
+"""Deliberately unparseable: exercises the R000 parse-failure path."""
+
+def half_finished(:
+    return 1

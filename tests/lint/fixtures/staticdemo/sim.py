@@ -1,0 +1,35 @@
+"""The fixture's "simulation" package (sim + protected role)."""
+
+from staticdemo.util import active_sites, jitter, remember, site_view
+
+
+class Engine:
+    """Protected object: observers must never write its attributes."""
+
+    def __init__(self) -> None:
+        self.ticks = 0
+        self.transferred_mb = 0.0
+
+    def advance(self) -> None:
+        self.ticks += 1
+
+
+def schedule_delay(query: str) -> float:
+    # R009: jitter() draws from an unseeded generator two frames away —
+    # this line is clean to every per-file rule.
+    delay = jitter()
+    return remember(query, delay)
+
+
+def total_transfer() -> float:
+    total = 0.0
+    # R012: active_sites() returns a set; float accumulation order now
+    # depends on the process hash seed.
+    for site in active_sites():
+        total += len(site) * 0.5
+    return total
+
+
+def transfer_labels() -> list:
+    # R012 through one propagation hop (site_view -> active_sites).
+    return [site.upper() for site in site_view()]

@@ -1,0 +1,20 @@
+"""The fixture's "observer" package — must be a pure reader of sim state."""
+
+from staticdemo.sim import Engine
+
+
+def render(engine: Engine) -> str:
+    return f"ticks={engine.ticks}"
+
+
+def sample(engine: Engine) -> int:
+    # R011: an observer-reachable function writing a protected object's
+    # attribute — per-file rules have no notion of roles or reachability.
+    engine.ticks = engine.ticks + 0
+    return engine.ticks
+
+
+def refresh(engine: Engine) -> None:
+    # R011 crossing edge: calling a protected mutator is as impure as
+    # writing the attribute directly.
+    engine.advance()

@@ -1,0 +1,171 @@
+"""Baseline load/check/write semantics and path normalization."""
+
+import json
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint.baseline import (
+    Baseline,
+    BaselineEntry,
+    normalize_path,
+    write_baseline,
+)
+from repro.lint.findings import Finding
+
+
+def _finding(path="src/repro/x.py", rule_id="R010", message="m", line=3):
+    return Finding(path=path, line=line, col=0, rule_id=rule_id,
+                   message=message)
+
+
+def _write(tmp_path, payload):
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps(payload))
+    return str(target)
+
+
+class TestNormalizePath:
+    def test_absolute_path_anchors_at_src(self):
+        assert normalize_path("/home/ci/repo/src/repro/x.py") == (
+            "src/repro/x.py"
+        )
+
+    def test_dotdot_segments_collapse_before_anchoring(self):
+        assert normalize_path("tests/lint/../../src/repro/x.py") == (
+            "src/repro/x.py"
+        )
+
+    def test_backslashes_normalize(self):
+        assert normalize_path("src\\repro\\x.py") == "src/repro/x.py"
+
+    def test_unanchored_path_kept_as_is(self):
+        assert normalize_path("./scripts/run.py") == "scripts/run.py"
+
+
+class TestLoad:
+    def _payload(self, justification="audited: reset hook clears it"):
+        return {
+            "version": 1,
+            "findings": [{
+                "path": "src/repro/x.py", "rule_id": "R010",
+                "message": "m", "justification": justification,
+            }],
+        }
+
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.load(_write(tmp_path, self._payload()))
+        assert baseline.justification_for(_finding()) == (
+            "audited: reset hook clears it"
+        )
+
+    def test_wrong_version_rejected(self, tmp_path):
+        payload = self._payload()
+        payload["version"] = 99
+        with pytest.raises(LintError):
+            Baseline.load(_write(tmp_path, payload))
+
+    def test_missing_fields_rejected(self, tmp_path):
+        payload = {"version": 1, "findings": [{"path": "x.py"}]}
+        with pytest.raises(LintError):
+            Baseline.load(_write(tmp_path, payload))
+
+    def test_todo_justification_rejected_strict(self, tmp_path):
+        path = _write(tmp_path, self._payload("TODO: justify or fix"))
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_empty_justification_rejected_strict(self, tmp_path):
+        path = _write(tmp_path, self._payload("  "))
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_lenient_load_keeps_todo_entries(self, tmp_path):
+        path = _write(tmp_path, self._payload("TODO: justify or fix"))
+        baseline = Baseline.load(path, strict=False)
+        assert len(baseline.entries) == 1
+
+    def test_invalid_json_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{not json")
+        with pytest.raises(LintError):
+            Baseline.load(str(target))
+
+
+class TestCheck:
+    def _baseline(self):
+        return Baseline([BaselineEntry(
+            path="src/repro/x.py", rule_id="R010", message="m",
+            justification="why",
+        )])
+
+    def test_known_finding_suppressed(self):
+        diff = self._baseline().check([_finding()])
+        assert diff.new == [] and len(diff.known) == 1 and diff.stale == []
+
+    def test_line_number_changes_do_not_invalidate(self):
+        diff = self._baseline().check([_finding(line=999)])
+        assert diff.new == []
+
+    def test_absolute_path_matches_relative_entry(self):
+        diff = self._baseline().check(
+            [_finding(path="/ci/checkout/src/repro/x.py")]
+        )
+        assert diff.new == []
+
+    def test_new_finding_reported(self):
+        diff = self._baseline().check([_finding(message="different")])
+        assert len(diff.new) == 1
+
+    def test_fixed_finding_reported_stale(self):
+        diff = self._baseline().check([])
+        assert len(diff.stale) == 1
+        assert "stale" in diff.render()
+
+
+class TestWrite:
+    def test_new_entries_get_todo_marker(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        count = write_baseline([_finding()], str(target))
+        assert count == 1
+        payload = json.loads(target.read_text())
+        assert payload["findings"][0]["justification"].startswith("TODO")
+
+    def test_written_todo_baseline_fails_strict_load(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline([_finding()], str(target))
+        with pytest.raises(LintError):
+            Baseline.load(str(target))
+
+    def test_existing_justifications_carried_over(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        previous = Baseline([BaselineEntry(
+            path="src/repro/x.py", rule_id="R010", message="m",
+            justification="kept",
+        )])
+        write_baseline([_finding()], str(target), previous=previous)
+        payload = json.loads(target.read_text())
+        assert payload["findings"][0]["justification"] == "kept"
+
+    def test_duplicate_findings_deduplicate(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        count = write_baseline([_finding(line=1), _finding(line=2)],
+                               str(target))
+        assert count == 1
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_loads_strict(self):
+        import os
+
+        repo_root = os.path.join(
+            os.path.dirname(__file__), os.pardir, os.pardir
+        )
+        baseline = Baseline.load(
+            os.path.join(repo_root, "lint-baseline.json")
+        )
+        assert all(
+            entry.justification and
+            not entry.justification.upper().startswith("TODO")
+            for entry in baseline.entries.values()
+        )

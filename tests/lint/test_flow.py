@@ -1,0 +1,101 @@
+"""Fixed-point engines: taint, reachability, property closure."""
+
+from repro.lint.flow import (
+    Taint,
+    propagate_property,
+    reach_chain,
+    reachable_from,
+    taint_callers,
+    taint_chain,
+)
+
+
+class _StubGraph:
+    """The two views flow.py consumes, hand-built per test."""
+
+    def __init__(self, edges):
+        self.edges = {k: set(v) for k, v in edges.items()}
+        reverse = {}
+        for caller, callees in self.edges.items():
+            for callee in callees:
+                reverse.setdefault(callee, set()).add(caller)
+        self.reverse_edges = reverse
+
+
+class TestTaintCallers:
+    def test_taint_flows_to_transitive_callers(self):
+        graph = _StubGraph({"a": {"b"}, "b": {"c"}, "c": set()})
+        tainted = taint_callers(graph, {"c": "wall-clock read"})
+        assert set(tainted) == {"a", "b", "c"}
+        assert tainted["a"].source == "wall-clock read"
+        assert tainted["c"].via is None
+
+    def test_untainted_branch_stays_clean(self):
+        graph = _StubGraph({"a": {"b"}, "x": {"y"}})
+        tainted = taint_callers(graph, {"b": "src"})
+        assert "x" not in tainted and "y" not in tainted
+
+    def test_cycle_terminates_and_taints_all_members(self):
+        graph = _StubGraph({"a": {"b"}, "b": {"a", "c"}, "c": set()})
+        tainted = taint_callers(graph, {"c": "src"})
+        assert set(tainted) == {"a", "b", "c"}
+
+    def test_chain_reconstructs_provenance(self):
+        graph = _StubGraph({"a": {"b"}, "b": {"c"}})
+        tainted = taint_callers(graph, {"c": "src"})
+        assert taint_chain(tainted, "a") == ["a", "b", "c"]
+
+    def test_chain_respects_limit(self):
+        edges = {f"f{i}": {f"f{i + 1}"} for i in range(20)}
+        graph = _StubGraph(edges)
+        tainted = taint_callers(graph, {"f20": "src"})
+        assert len(taint_chain(tainted, "f0", limit=5)) == 5
+
+    def test_provenance_via_pointers_are_acyclic(self):
+        graph = _StubGraph({"a": {"b"}, "b": {"a"}})
+        tainted = taint_callers(graph, {"a": "src"})
+        seen = set()
+        current = "b"
+        while current is not None:
+            assert current not in seen
+            seen.add(current)
+            current = tainted[current].via
+
+    def test_taint_dataclass_is_frozen(self):
+        taint = Taint(source="s", via=None)
+        assert taint == Taint(source="s", via=None)
+
+
+class TestReachableFrom:
+    def test_roots_have_no_predecessor(self):
+        graph = _StubGraph({"r": {"a"}})
+        reached = reachable_from(graph, ["r"])
+        assert reached["r"] is None and reached["a"] == "r"
+
+    def test_unreachable_functions_absent(self):
+        graph = _StubGraph({"r": {"a"}, "z": {"q"}})
+        reached = reachable_from(graph, ["r"])
+        assert "z" not in reached and "q" not in reached
+
+    def test_cycle_terminates(self):
+        graph = _StubGraph({"r": {"a"}, "a": {"r"}})
+        assert set(reachable_from(graph, ["r"])) == {"r", "a"}
+
+    def test_reach_chain_runs_root_first(self):
+        graph = _StubGraph({"r": {"a"}, "a": {"b"}})
+        reached = reachable_from(graph, ["r"])
+        assert reach_chain(reached, "b") == ["r", "a", "b"]
+
+
+class TestPropagateProperty:
+    def test_property_climbs_dependency_edges(self):
+        holds = propagate_property(["base"], {"wrap": {"base"},
+                                              "outer": {"wrap"}})
+        assert holds == {"base", "wrap", "outer"}
+
+    def test_cyclic_dependencies_terminate(self):
+        holds = propagate_property(["a"], {"a": {"b"}, "b": {"a"}})
+        assert holds == {"a", "b"}
+
+    def test_no_seed_means_nothing_holds(self):
+        assert propagate_property([], {"a": {"b"}}) == set()

@@ -136,6 +136,42 @@ class TestCli:
         assert "clean" in capsys.readouterr().out
 
 
+class TestParseResilience:
+    """One broken file must not abort a whole lint run (rule R000)."""
+
+    def test_syntax_error_becomes_r000_finding(self):
+        findings = lint_source("def broken(:\n", path="bad.py")
+        assert [f.rule_id for f in findings] == ["R000"]
+        assert "parse failure" in findings[0].message
+
+    def test_nul_byte_becomes_r000_finding(self):
+        findings = lint_source("x = 1\0\n", path="bad.py")
+        assert [f.rule_id for f in findings] == ["R000"]
+
+    def test_run_continues_past_broken_file(self, tmp_path):
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        (tmp_path / "still_checked.py").write_text("import random\n")
+        findings, files_checked = lint_paths([str(tmp_path)])
+        assert files_checked == 2
+        assert sorted(f.rule_id for f in findings) == ["R000", "R002"]
+
+    def test_cli_reports_broken_file_and_exits_one(self, tmp_path, capsys):
+        from repro.lint.cli import main
+
+        (tmp_path / "bad.py").write_text("def broken(:\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 1
+        assert "R000" in capsys.readouterr().out
+
+    def test_fixture_broken_file_is_actually_broken(self):
+        fixture = os.path.join(
+            os.path.dirname(__file__), "fixtures", "broken.py"
+        )
+        with open(fixture, encoding="utf-8") as handle:
+            findings = lint_source(handle.read(), path=fixture)
+        assert [f.rule_id for f in findings] == ["R000"]
+
+
 class TestMetaSelfLint:
     """The shipped tree must satisfy its own linter (CI gate)."""
 

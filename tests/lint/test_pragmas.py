@@ -51,3 +51,60 @@ class TestSuppression:
     def test_wildcard_silences_everything_on_line(self):
         source = "import random  # lint: allow[*]\nimport time\n"
         assert lint_source(source) == []
+
+    def test_multiple_rules_one_pragma_silence_both(self):
+        source = (
+            "import time\n"
+            "import random\n"
+            "x = [time.time(), random.random()]  # lint: allow[R001, R002]\n"
+        )
+        assert [f.rule_id for f in lint_source(source)] == ["R002"]  # import
+
+    def test_pragma_on_continuation_line_of_expression(self):
+        # The flagged expression spans lines 3-5; the pragma sits on the
+        # closing line, the finding anchors at the opening one.
+        source = (
+            "import time\n"
+            "x = (\n"
+            "    time.time()\n"
+            "    + 1\n"
+            ")  # lint: allow[R001]\n"
+        )
+        assert lint_source(source) == []
+
+    def test_pragma_on_opening_line_of_expression(self):
+        source = (
+            "import time\n"
+            "x = (  # lint: allow[R001]\n"
+            "    time.time()\n"
+            ")\n"
+        )
+        assert lint_source(source) == []
+
+    def test_pragma_outside_expression_span_does_not_silence(self):
+        source = (
+            "import time\n"
+            "# lint: allow[R001]\n"
+            "x = (\n"
+            "    time.time()\n"
+            ")\n"
+        )
+        assert [f.rule_id for f in lint_source(source)] == ["R001"]
+
+
+class TestUnknownRuleIds:
+    def test_unknown_rule_id_warns_w001(self):
+        findings = lint_source("x = 1  # lint: allow[R999]\n")
+        assert [f.rule_id for f in findings] == ["W001"]
+        assert "R999" in findings[0].message
+
+    def test_known_static_rule_id_does_not_warn(self):
+        assert lint_source("x = 1  # lint: allow[R009]\n") == []
+
+    def test_wildcard_does_not_warn(self):
+        assert lint_source("x = 1  # lint: allow[*]\n") == []
+
+    def test_typo_still_reports_the_unsuppressed_finding(self):
+        source = "import time\nx = time.time()  # lint: allow[R01]\n"
+        rule_ids = sorted(f.rule_id for f in lint_source(source))
+        assert rule_ids == ["R001", "W001"]

@@ -1,0 +1,189 @@
+"""Interprocedural passes R009-R012 against the seeded fixture package.
+
+The fixture (``tests/lint/fixtures/staticdemo``) holds one violation per
+pass, each engineered to be invisible to the per-file rules — that
+invisibility is asserted here too, since it is the whole point of the
+whole-program layer.
+"""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import lint_paths
+from repro.lint.graph import ProjectGraph
+from repro.lint.passes import (
+    ProjectRoles,
+    build_inventory,
+    r010_message,
+    run_static_passes,
+    write_shared_state,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "staticdemo")
+
+ROLES = ProjectRoles(
+    sim=("staticdemo.sim",),
+    observer=("staticdemo.view",),
+    protected=("staticdemo.sim",),
+)
+
+
+@pytest.fixture(scope="module")
+def demo():
+    graph = ProjectGraph.build([FIXTURE])
+    findings, inventory = run_static_passes(graph, roles=ROLES)
+    return graph, findings, inventory
+
+
+def _rule_files(findings, rule_id):
+    return sorted(
+        os.path.basename(f.path) for f in findings if f.rule_id == rule_id
+    )
+
+
+class TestFixtureDemos:
+    def test_per_file_rules_miss_every_seeded_violation(self):
+        findings, _ = lint_paths([FIXTURE])
+        assert findings == []
+
+    def test_r009_flags_laundered_unseeded_generator(self, demo):
+        _, findings, _ = demo
+        assert _rule_files(findings, "R009") == ["sim.py"]
+        (finding,) = [f for f in findings if f.rule_id == "R009"]
+        assert "unseeded numpy.random.default_rng()" in finding.message
+        assert "staticdemo.util.jitter" in finding.message
+
+    def test_r010_inventories_module_cache(self, demo):
+        _, findings, inventory = demo
+        assert _rule_files(findings, "R010") == ["util.py"]
+        entry = next(e for e in inventory if e.name == "_MEMO")
+        assert entry.mutated and entry.kind == "module-global"
+        assert any("util.py" in site for site in entry.mutation_sites)
+
+    def test_r011_flags_both_write_styles(self, demo):
+        _, findings, _ = demo
+        r011 = [f for f in findings if f.rule_id == "R011"]
+        assert _rule_files(r011, "R011") == ["view.py", "view.py"]
+        messages = " | ".join(f.message for f in r011)
+        assert "writes attribute" in messages          # sample()
+        assert "calls an engine/wan/core mutator" in messages  # refresh()
+
+    def test_r011_pure_reader_not_flagged(self, demo):
+        _, findings, _ = demo
+        assert not any(
+            f.rule_id == "R011" and f.line <= 8 for f in findings
+        ), "render() only reads engine state"
+
+    def test_r012_flags_loop_and_propagated_comprehension(self, demo):
+        _, findings, _ = demo
+        r012 = sorted(f for f in findings if f.rule_id == "R012")
+        assert len(r012) == 2
+        assert "active_sites()" in r012[0].message
+        assert "site_view()" in r012[1].message
+
+
+class TestPassMechanics:
+    def test_select_runs_only_named_passes(self, demo):
+        graph, _, _ = demo
+        findings, _ = run_static_passes(graph, roles=ROLES, select=["R012"])
+        assert {f.rule_id for f in findings} == {"R012"}
+
+    def test_select_unknown_id_raises(self, demo):
+        graph, _, _ = demo
+        with pytest.raises(LintError):
+            run_static_passes(graph, roles=ROLES, select=["R099"])
+
+    def test_inventory_returned_even_when_r010_deselected(self, demo):
+        graph, _, _ = demo
+        _, inventory = run_static_passes(graph, roles=ROLES, select=["R009"])
+        assert any(e.name == "_MEMO" for e in inventory)
+
+    def test_pragma_suppresses_static_finding(self, tmp_path):
+        pkg = tmp_path / "demo"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "util.py").write_text(textwrap.dedent(
+            """\
+            import numpy as np
+            def jitter():
+                rng = np.random.default_rng()  # lint: allow[R009]
+                return float(rng.random())
+            """
+        ))
+        (pkg / "sim.py").write_text(
+            "from demo.util import jitter\n"
+            "def delay():\n"
+            "    return jitter()\n"
+        )
+        graph = ProjectGraph.build([str(pkg)])
+        roles = ProjectRoles(sim=("demo.sim",), observer=(), protected=())
+        findings, _ = run_static_passes(graph, roles=roles)
+        assert findings == []
+
+    def test_import_time_table_building_is_not_a_mutation(self, tmp_path):
+        pkg = tmp_path / "demo"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "table.py").write_text(
+            "_TABLE = {}\n"
+            "for key in ('a', 'b'):\n"
+            "    _TABLE[key] = len(key)\n"
+        )
+        graph = ProjectGraph.build([str(pkg)])
+        entry = next(
+            e for e in build_inventory(graph) if e.name == "_TABLE"
+        )
+        assert not entry.mutated
+
+
+class TestSharedStateExport:
+    def test_write_shared_state_round_trips(self, demo, tmp_path):
+        _, _, inventory = demo
+        out = tmp_path / "shared_state.json"
+        count = write_shared_state(inventory, str(out))
+        payload = json.loads(out.read_text())
+        assert payload["version"] == 1
+        assert count == len(payload["entries"]) == len(inventory)
+
+    def test_baseline_justification_joined_in(self, demo, tmp_path):
+        from repro.lint.baseline import Baseline, BaselineEntry
+
+        _, _, inventory = demo
+        entry = next(e for e in inventory if e.name == "_MEMO")
+        baseline = Baseline([BaselineEntry(
+            path=entry.path, rule_id="R010",
+            message=r010_message(entry),
+            justification="demo fixture cache",
+        )])
+        out = tmp_path / "shared_state.json"
+        write_shared_state(inventory, str(out), baseline=baseline)
+        payload = json.loads(out.read_text())
+        memo = next(
+            e for e in payload["entries"] if e["name"] == "_MEMO"
+        )
+        assert memo["justification"] == "demo fixture cache"
+
+
+class TestRealTreeStaticClean:
+    """Meta self-check: the shipped tree vs the committed baseline."""
+
+    REPO_ROOT = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+
+    def test_static_passes_match_baseline_exactly(self):
+        from repro.lint.baseline import Baseline
+
+        graph = ProjectGraph.build([
+            os.path.join(self.REPO_ROOT, "src", "repro"),
+            os.path.join(self.REPO_ROOT, "benchmarks"),
+        ])
+        findings, _ = run_static_passes(graph)
+        baseline = Baseline.load(
+            os.path.join(self.REPO_ROOT, "lint-baseline.json")
+        )
+        diff = baseline.check(findings)
+        assert diff.new == [], "\n".join(f.render() for f in diff.new)
+        assert diff.stale == [], diff.render()

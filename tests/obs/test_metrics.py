@@ -109,6 +109,16 @@ class TestNullMetrics:
         assert NULL_METRICS.series() == []
         assert not NULL_METRICS.enabled
 
+    def test_stray_mutation_cannot_contaminate_other_readers(self):
+        # R010 regression: labels/samples must be fresh containers per
+        # read, not class-level dict/list shared by every null metric.
+        metric = NULL_METRICS.counter("x")
+        metric.samples.append(1.0)
+        metric.labels["k"] = "v"
+        other = NULL_METRICS.histogram("y")
+        assert other.samples == [] and other.labels == {}
+        assert metric.samples == [] and metric.labels == {}
+
 
 class TestDeterministicDumps:
     """Regression: dumps must not depend on call-site kwargs order."""

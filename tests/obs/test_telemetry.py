@@ -17,6 +17,7 @@ from repro.obs.series import wan_bytes_carried
 from repro.obs.telemetry import (
     EVENT_KINDS,
     NULL_TELEMETRY,
+    NullTelemetryBus,
     TelemetryBus,
     TelemetryEvent,
     iter_kind,
@@ -106,6 +107,13 @@ class TestBus:
         NULL_TELEMETRY.subscribe(lambda event: None)
         assert NULL_TELEMETRY.events == []
         assert not NULL_TELEMETRY.enabled
+
+    def test_stray_append_cannot_contaminate_other_readers(self):
+        # R010 regression: events must be a fresh list per read, not a
+        # class-level container shared by every null bus.
+        NULL_TELEMETRY.events.append("garbage")
+        assert NULL_TELEMETRY.events == []
+        assert NullTelemetryBus().events == []
 
     def test_disabled_run_emits_zero_events(self):
         """The no-op guard: without a bus installed, hot paths emit nothing."""

@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import ObservabilityError
 from repro.obs import NULL_TRACER, Span, Tracer, instrument
+from repro.obs.tracer import NullTracer
 
 
 class TestSpanNesting:
@@ -97,6 +98,13 @@ class TestNullTracer:
         NULL_TRACER.record("y", stage="map", sim_start=0.0, sim_end=1.0)
         assert NULL_TRACER.spans == []
         assert not NULL_TRACER.enabled
+
+    def test_stray_append_cannot_contaminate_other_readers(self):
+        # R010 regression: spans must be a fresh list per read, not a
+        # class-level container shared by every null tracer.
+        NULL_TRACER.spans.append("garbage")
+        assert NULL_TRACER.spans == []
+        assert NullTracer().spans == []
 
     def test_default_instrumentation_is_noop(self):
         obs = instrument.current()
