@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-static determinism sanitize chaos test bench-smoke profile telemetry check
+.PHONY: lint lint-static determinism sanitize chaos test bench-smoke serve-smoke profile telemetry check
 
 lint:  ## static analysis: per-file rules R001-R008 over the shipped tree
 	$(PYTHON) -m repro.lint src/repro benchmarks
@@ -33,6 +33,17 @@ bench-smoke:  ## smoke benchmarks vs the committed baseline (sim gate only)
 	$(PYTHON) -m repro bench --suite smoke --compare BENCH_1.json \
 		--ignore-wall --out bench_smoke.json
 
+serve-smoke:  ## two same-seed serve runs must produce bit-identical sim digests
+	$(PYTHON) -m repro serve --tenants 3 --queries 12 --seed 11 \
+		--cache-size 4 --json serve_a.json --hist serve_hist.json
+	$(PYTHON) -m repro serve --tenants 3 --queries 12 --seed 11 \
+		--cache-size 4 --json serve_b.json
+	$(PYTHON) -c "import json; \
+		a = json.load(open('serve_a.json'))['sim_digest']; \
+		b = json.load(open('serve_b.json'))['sim_digest']; \
+		assert a == b, f'serve sim digests diverged: {a} != {b}'; \
+		print(f'serve digests identical: {a[:16]}')"
+
 profile:  ## smoke benchmarks under the wall profiler (collapsed stacks)
 	$(PYTHON) -m repro bench --suite smoke --profile \
 		--profile-out bench.collapsed
@@ -42,4 +53,4 @@ telemetry:  ## chaos run with telemetry capture + HTML dashboard render
 		--queries 2 --chaos flaky-wan --telemetry telemetry.jsonl
 	$(PYTHON) -m repro report telemetry.jsonl --out report.html
 
-check: lint lint-static determinism sanitize chaos test bench-smoke telemetry  ## everything CI gates on
+check: lint lint-static determinism sanitize chaos test bench-smoke serve-smoke telemetry  ## everything CI gates on

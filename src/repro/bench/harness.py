@@ -21,7 +21,7 @@ from repro.errors import BenchError
 from repro.util.stats import stdev
 
 #: The curated subsets `repro bench --suite` accepts.
-SUITES = ("smoke", "figures", "tables", "ablations", "full")
+SUITES = ("smoke", "figures", "tables", "ablations", "serve", "full")
 
 ProgressFn = Callable[[str], None]
 

@@ -216,6 +216,55 @@ def build_parser() -> argparse.ArgumentParser:
     top_cmd.add_argument("--telemetry", metavar="FILE",
                          help="also record the stream as JSONL")
 
+    serve_cmd = commands.add_parser(
+        "serve",
+        help="concurrent multi-tenant serving: Zipf load over one shared "
+        "sim clock with WFQ fairness, admission control, and a cube cache",
+    )
+    serve_cmd.add_argument("--scheme", default="bohr", choices=SCHEME_NAMES)
+    serve_cmd.add_argument("--workload", default="bigdata-aggregation",
+                           choices=WORKLOAD_CHOICES)
+    serve_cmd.add_argument("--placement", default="random",
+                           choices=("random", "locality"))
+    serve_cmd.add_argument("--base-uplink", default="2MB/s")
+    serve_cmd.add_argument("--lag", type=float, default=8.0)
+    serve_cmd.add_argument("--probe-k", type=int, default=30)
+    serve_cmd.add_argument("--seed", type=int, default=11)
+    serve_cmd.add_argument("--scale", type=float, default=1.0)
+    serve_cmd.add_argument("--tenants", type=int, default=4,
+                           help="tenant population size")
+    serve_cmd.add_argument("--weights", default="",
+                           help="comma-separated tenant weights, cycled "
+                           "over tenants (default: all 1.0)")
+    serve_cmd.add_argument("--queries", type=int, default=40,
+                           help="arrivals to offer")
+    serve_cmd.add_argument("--rate", type=float, default=2.0,
+                           help="aggregate arrivals per sim-second "
+                           "(open loop)")
+    serve_cmd.add_argument("--zipf", type=float, default=1.1,
+                           help="tenant-popularity Zipf exponent")
+    serve_cmd.add_argument("--max-inflight", type=int, default=8,
+                           help="global concurrent-query ceiling")
+    serve_cmd.add_argument("--max-inflight-per-tenant", type=int, default=4)
+    serve_cmd.add_argument("--queue-depth", type=int, default=16,
+                           help="per-tenant queue depth; arrivals beyond "
+                           "are shed")
+    serve_cmd.add_argument("--cache-size", type=int, default=32,
+                           help="cube-cache capacity in entries (0 "
+                           "disables the cache)")
+    serve_cmd.add_argument("--cache-serve-seconds", type=float, default=0.05,
+                           help="fixed sim cost of a cache-served answer")
+    serve_cmd.add_argument("--map-slots", type=int, default=None,
+                           help="per-site concurrent map-stage slots "
+                           "(default: the site's executor count)")
+    serve_cmd.add_argument("--hist", metavar="FILE",
+                           help="write the latency histogram as JSON")
+    serve_cmd.add_argument("--json", metavar="PATH",
+                           help="write the full serve report as JSON")
+    serve_cmd.add_argument("--telemetry", metavar="FILE",
+                           help="record the streaming event bus (serve/"
+                           "cache kinds included) as versioned JSONL")
+
     from repro.bench.cli import add_bench_arguments
 
     bench_cmd = commands.add_parser(
@@ -392,6 +441,107 @@ def _run_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServeConfig, serve_workload
+    from repro.workloads import build_workload
+
+    topology = ec2_ten_sites(base_uplink=args.base_uplink)
+    config = SystemConfig(
+        lag_seconds=args.lag, probe_k=args.probe_k, seed=args.seed,
+        partition_records=8,
+    )
+
+    def factory():
+        return build_workload(
+            args.workload, topology, placement=args.placement,
+            seed=args.seed, scale=args.scale,
+        )
+
+    weights = tuple(
+        float(part) for part in args.weights.split(",") if part.strip()
+    )
+    serve_config = ServeConfig(
+        seed=args.seed,
+        num_tenants=args.tenants,
+        num_queries=args.queries,
+        arrival_rate=args.rate,
+        zipf_s=args.zipf,
+        max_inflight=args.max_inflight,
+        max_inflight_per_tenant=args.max_inflight_per_tenant,
+        queue_depth=args.queue_depth,
+        cache_capacity=args.cache_size,
+        cache_serve_seconds=args.cache_serve_seconds,
+        map_slots_per_site=args.map_slots,
+        tenant_weights=weights,
+    )
+    bus = None
+    if args.telemetry:
+        from repro.obs import instrument
+        from repro.obs.telemetry import TelemetryBus
+
+        bus = TelemetryBus()
+        with instrument.instrumented(telemetry=bus):
+            report = serve_workload(
+                args.scheme, factory, topology, config, serve_config
+            )
+    else:
+        report = serve_workload(
+            args.scheme, factory, topology, config, serve_config
+        )
+
+    print(
+        f"{report.scheme} serving {args.workload}: "
+        f"{len(report.queries)} arrivals from {args.tenants} tenants "
+        f"(Zipf s={args.zipf}, rate {args.rate}/s, seed {args.seed})"
+    )
+    print(
+        f"  completed {len(report.completed)} "
+        f"({report.executed} executed, "
+        f"{report.cache_hits} cache-served), shed {report.shed}"
+    )
+    print(
+        f"  QCT p50 {format_seconds(report.p50_qct)}  "
+        f"p99 {format_seconds(report.p99_qct)}  "
+        f"mean {format_seconds(report.mean_qct)}  "
+        f"makespan {format_seconds(report.makespan)}"
+    )
+    print(
+        f"  cache: {report.cache_hits} hits / {report.cache_misses} misses "
+        f"({100.0 * report.cache_hit_rate:.1f}%), "
+        f"{report.cache_evictions} evictions"
+    )
+    print(f"  fairness (Jain, weight-normalized): {report.fairness:.4f}")
+    print()
+    print(f"  {'tenant':12s} {'weight':>6s} {'offered':>8s} {'executed':>9s} "
+          f"{'cached':>7s} {'shed':>5s} {'mean QCT':>12s}")
+    for tenant in report.tenants:
+        print(
+            f"  {tenant.name:12s} {tenant.weight:6.1f} {tenant.offered:8d} "
+            f"{tenant.executed:9d} {tenant.cached:7d} {tenant.shed:5d} "
+            f"{format_seconds(tenant.mean_qct):>12s}"
+        )
+    print()
+    print(f"  sim digest: {report.sim_digest()}")
+    if args.hist:
+        with open(args.hist, "w", encoding="utf-8") as handle:
+            json.dump(report.latency_histogram(), handle, indent=2)
+        print(f"latency histogram written to {args.hist}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"serve report written to {args.json}")
+    if bus is not None:
+        from repro.obs.telemetry import write_jsonl
+
+        write_jsonl(bus, args.telemetry)
+        print(
+            f"telemetry written to {args.telemetry} ({len(bus.events)} events)"
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -462,6 +612,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.command == "top":
         return _run_top(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "run":
         schemes = [args.scheme]

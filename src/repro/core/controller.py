@@ -493,6 +493,37 @@ class Controller:
         return [self.run_query(workload, query) for query in queries]
 
     # ------------------------------------------------------------------
+    # serving-layer hooks (repro.serve)
+    # ------------------------------------------------------------------
+
+    @property
+    def reduce_fractions(self) -> Optional[Dict[str, float]]:
+        """The prepared placement's reduce fractions (None before prepare)."""
+        return dict(self._fractions) if self._fractions is not None else None
+
+    def compile(self, workload: Workload, spec):
+        """Compile one query spec against the current profiler state.
+
+        The serving layer plans jobs itself (plan/complete split on the
+        engine) but must compile exactly like :meth:`run_query` does, so
+        reduction-ratio feedback flows the same way.
+        """
+        schema = workload.schema(spec.dataset_id)
+        return compile_query(
+            spec,
+            schema,
+            self.profiler,
+            num_reduce_tasks=self.config.num_reduce_tasks,
+        )
+
+    def record_observation(self, query: RecurringQuery, result: JobResult) -> None:
+        """Post-completion bookkeeping, called by the serving layer in
+        deterministic completion order: reduction-profile feedback plus
+        the query's recurrence counter."""
+        self.profiler.observe(query.spec, result)
+        query.record_execution()
+
+    # ------------------------------------------------------------------
     # reporting helpers
     # ------------------------------------------------------------------
 

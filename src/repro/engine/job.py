@@ -111,6 +111,38 @@ class JobResult:
         return metrics.intermediate_bytes if metrics else 0.0
 
 
+@dataclass
+class PlannedJob:
+    """A job after its map stage and shuffle plan, awaiting WAN results.
+
+    Splitting planning from completion lets a serving layer inject many
+    jobs' transfers into one shared :class:`~repro.wan.transfer.WanSession`
+    and finish each job as its flows drain; :meth:`MapReduceEngine.run_many`
+    is just the batch composition of the two halves.  ``start_offset``
+    stamps the job onto an absolute shared clock: map runs
+    ``[start_offset, map_finish]``, transfers start at absolute times, and
+    the resulting QCT is an absolute completion time on that clock.
+    ``start_offset == 0.0`` keeps the job-relative batch semantics
+    bit-identical.
+    """
+
+    tag: str
+    per_site: Dict[str, SiteMetrics]
+    transfers: List[Transfer] = field(default_factory=list)
+    start_offset: float = 0.0
+    collect_keys: bool = False
+    key_counts: Dict = field(default_factory=dict)
+    key_bytes: Dict = field(default_factory=dict)
+
+    @property
+    def map_finish(self) -> float:
+        """Latest map finish across sites (absolute when offset-stamped)."""
+        return max(
+            (m.map_finish for m in self.per_site.values() if not m.excluded),
+            default=self.start_offset,
+        )
+
+
 class MapReduceEngine:
     """Executes :class:`MapReduceSpec` jobs over a :class:`WanTopology`."""
 
@@ -211,83 +243,158 @@ class MapReduceEngine:
                 for _dataset, spec in jobs
             ]
 
-        per_job_metrics: List[Dict[str, SiteMetrics]] = []
+        per_job: List[PlannedJob] = []
         all_transfers: List = []
-        job_key_counts: List[Dict] = []
         for index, (dataset, spec) in enumerate(jobs):
-            metrics = {
-                site.name: SiteMetrics(site=site.name) for site in self.topology
-            }
-            site_outputs = {}
-            for site_name in self.topology.site_names:
-                if site_name in dead_sites:
-                    # Site outage: its shard is unreachable — no map work,
-                    # no shuffle contribution, partial results downstream.
-                    metrics[site_name].excluded = True
-                    site_outputs[site_name] = []
-                    continue
-                site_outputs[site_name] = self._map_stage(
-                    dataset, spec, site_name, metrics[site_name], cube_sorted
-                )
-            if collect_keys:
-                counts: Dict = {}
-                sizes: Dict = {}
-                for outputs in site_outputs.values():
-                    for output in outputs:
-                        for key, record in output.records.items():
-                            counts[key] = counts.get(key, 0) + record.merged_count
-                            sizes[key] = sizes.get(key, 0.0) + record.size_bytes
-                job_key_counts.append((counts, sizes))
-            transfers = self._plan_shuffle(
-                site_outputs, task_maps[index], metrics, tag=f"job-{index}"
+            planned = self.plan_job(
+                dataset,
+                spec,
+                task_maps[index],
+                dead_sites=dead_sites,
+                cube_sorted=cube_sorted,
+                collect_keys=collect_keys,
+                tag=f"job-{index}",
             )
-            per_job_metrics.append(metrics)
-            all_transfers.extend(transfers)
+            per_job.append(planned)
+            all_transfers.extend(planned.transfers)
 
         results = self.scheduler.simulate(all_transfers)
+        return [
+            self.complete_job(
+                planned,
+                [
+                    result
+                    for result in results
+                    if result.transfer.tag == planned.tag
+                ],
+            )
+            for planned in per_job
+        ]
+
+    # ------------------------------------------------------------------
+    # plan / complete halves (the serving layer's entry points)
+    # ------------------------------------------------------------------
+
+    def resolve_routing(
+        self,
+        reduce_fractions: Optional[Mapping[str, float]],
+        num_reduce_tasks: int,
+    ) -> "tuple[ReduceTaskMap, frozenset[str]]":
+        """Resolve reduce fractions against faults into a task map.
+
+        Returns the key→site routing plus the set of dead sites (to pass
+        through to :meth:`plan_job`).
+        """
+        fractions = self._resolve_fractions(reduce_fractions)
+        dead_sites = self._dead_sites()
+        if dead_sites:
+            fractions = self._exclude_dead_fractions(fractions, dead_sites)
+        return ReduceTaskMap.from_fractions(fractions, num_reduce_tasks), dead_sites
+
+    def plan_job(
+        self,
+        dataset: GeoDataset,
+        spec: MapReduceSpec,
+        task_map: ReduceTaskMap,
+        *,
+        dead_sites: "frozenset[str]" = frozenset(),
+        cube_sorted: bool = False,
+        collect_keys: bool = False,
+        tag: str = "job-0",
+        start_offset: float = 0.0,
+    ) -> PlannedJob:
+        """Run the map stage and plan the shuffle; no WAN simulation yet."""
+        metrics = {
+            site.name: SiteMetrics(site=site.name) for site in self.topology
+        }
+        site_outputs: Dict[str, List[CombinedOutput]] = {}
+        for site_name in self.topology.site_names:
+            if site_name in dead_sites:
+                # Site outage: its shard is unreachable — no map work,
+                # no shuffle contribution, partial results downstream.
+                metrics[site_name].excluded = True
+                site_outputs[site_name] = []
+                continue
+            site_outputs[site_name] = self._map_stage(
+                dataset, spec, site_name, metrics[site_name], cube_sorted
+            )
+            if start_offset:
+                metrics[site_name].map_finish = (
+                    start_offset + metrics[site_name].map_finish
+                )
+        planned = PlannedJob(
+            tag=tag,
+            per_site=metrics,
+            start_offset=start_offset,
+            collect_keys=collect_keys,
+        )
+        if collect_keys:
+            counts: Dict = {}
+            sizes: Dict = {}
+            for outputs in site_outputs.values():
+                for output in outputs:
+                    for key, record in output.records.items():
+                        counts[key] = counts.get(key, 0) + record.merged_count
+                        sizes[key] = sizes.get(key, 0.0) + record.size_bytes
+            planned.key_counts, planned.key_bytes = counts, sizes
+        planned.transfers = self._plan_shuffle(
+            site_outputs, task_map, metrics, tag=tag
+        )
+        return planned
+
+    def complete_job(
+        self, planned: PlannedJob, transfer_results: Sequence[TransferResult]
+    ) -> JobResult:
+        """Finish a planned job once its WAN transfers have results."""
+        qct = self._reduce_stage(transfer_results, planned.per_site)
+        job_result = JobResult(
+            qct=qct, per_site=planned.per_site, transfers=list(transfer_results)
+        )
+        if planned.collect_keys:
+            job_result.key_counts = planned.key_counts
+            job_result.key_bytes = planned.key_bytes
         obs = instrument.current()
-        job_results: List[JobResult] = []
-        for index, metrics in enumerate(per_job_metrics):
-            own = [
-                result
-                for result in results
-                if result.transfer.tag == f"job-{index}"
-            ]
-            qct = self._reduce_stage(own, metrics)
-            job_result = JobResult(qct=qct, per_site=metrics, transfers=own)
-            if collect_keys:
-                job_result.key_counts, job_result.key_bytes = job_key_counts[index]
-            if obs.sanitizer.enabled:
-                obs.sanitizer.check_job(job_result)
-            if obs.tracer.enabled:
-                self._record_job_spans(obs.tracer, job_result)
-            if obs.telemetry.enabled:
-                self._emit_job_telemetry(obs.telemetry, job_result, index)
-            job_results.append(job_result)
-        return job_results
+        if obs.sanitizer.enabled:
+            obs.sanitizer.check_job(job_result)
+        if obs.tracer.enabled:
+            self._record_job_spans(
+                obs.tracer, job_result, map_start=planned.start_offset
+            )
+        if obs.telemetry.enabled:
+            self._emit_job_telemetry(
+                obs.telemetry,
+                job_result,
+                planned.tag,
+                map_start=planned.start_offset,
+            )
+        return job_result
 
     @staticmethod
-    def _emit_job_telemetry(telemetry, result: JobResult, index: int) -> None:
+    def _emit_job_telemetry(
+        telemetry, result: JobResult, job: str, map_start: float = 0.0
+    ) -> None:
         """Stage/task lifecycle events for one job (per-site, sim clock).
 
-        Map runs [0, map_finish], reduce [finish - reduce_seconds, finish];
-        stage-finish carries its own start so the Gantt derivation never
-        has to pair events.  rdd_overhead is wall-coupled and excluded
-        from determinism digests by name.
+        Map runs [map_start, map_finish], reduce
+        [finish - reduce_seconds, finish]; stage-finish carries its own
+        start so the Gantt derivation never has to pair events.
+        rdd_overhead is wall-coupled and excluded from determinism
+        digests by name.
         """
-        job = f"job-{index}"
         for site, site_metrics in result.per_site.items():
             if site_metrics.excluded:
                 continue
-            if site_metrics.input_records or site_metrics.map_finish > 0:
-                telemetry.emit("stage-start", t=0.0, stage="map", site=site, job=job)
+            if site_metrics.input_records or site_metrics.map_finish > map_start:
+                telemetry.emit(
+                    "stage-start", t=map_start, stage="map", site=site, job=job
+                )
                 telemetry.emit(
                     "stage-finish",
                     t=site_metrics.map_finish,
                     stage="map",
                     site=site,
                     job=job,
-                    start=0.0,
+                    start=map_start,
                     input_bytes=site_metrics.input_bytes,
                     intermediate_bytes=site_metrics.intermediate_bytes,
                     rdd_overhead_seconds=site_metrics.rdd_overhead_seconds,
@@ -324,7 +431,7 @@ class MapReduceEngine:
         )
 
     @staticmethod
-    def _record_job_spans(tracer, result: JobResult) -> None:
+    def _record_job_spans(tracer, result: JobResult, map_start: float = 0.0) -> None:
         """Emit simulated-clock map/shuffle/reduce spans for one job.
 
         The spans nest under whatever span is open on the active tracer
@@ -333,11 +440,11 @@ class MapReduceEngine:
         but as machine-readable trace output instead of ASCII art.
         """
         for site, site_metrics in result.per_site.items():
-            if site_metrics.input_records or site_metrics.map_finish > 0:
+            if site_metrics.input_records or site_metrics.map_finish > map_start:
                 tracer.record(
                     f"map@{site}",
                     stage="map",
-                    sim_start=0.0,
+                    sim_start=map_start,
                     sim_end=site_metrics.map_finish,
                     site=site,
                     input_records=site_metrics.input_records,

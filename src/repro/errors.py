@@ -71,3 +71,7 @@ class TransferAbandoned(ReproError):
 
 class BenchError(ReproError):
     """Raised by the benchmark harness (bad cases, malformed reports)."""
+
+
+class ServeError(ReproError):
+    """Raised by the serving layer (bad tenant config, wedged admission)."""

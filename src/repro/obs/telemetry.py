@@ -12,7 +12,8 @@ Like the instrument slot's other members, the bus has a no-op twin
 (:data:`NULL_TELEMETRY`): a disabled call site costs one attribute lookup
 and a truthiness check, so the telemetry-off hot path is unchanged.
 
-Event model (schema v1, specified in DESIGN.md):
+Event model (schema v2, specified in DESIGN.md; v2 = v1 plus the
+serving-layer kinds — old archives load unchanged):
 
 * ``seq`` — monotonically increasing per bus, fixing a total order;
 * ``t`` — simulated-clock seconds the event describes, or ``None`` for
@@ -41,10 +42,15 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.errors import ObservabilityError
 
 #: Schema version written into the JSONL header line.
-TELEMETRY_VERSION = 1
+TELEMETRY_VERSION = 2
 
-#: Every event kind the v1 schema admits, grouped by emitting layer.
-EVENT_KINDS = frozenset(
+#: Archive versions :func:`load_jsonl` still understands.  v1 archives
+#: are a strict subset of v2 (the serve kinds were added, nothing was
+#: renamed or removed), so old archives stay loadable forever.
+SUPPORTED_VERSIONS = frozenset({1, 2})
+
+#: Every event kind the v1 schema admitted, grouped by emitting layer.
+V1_EVENT_KINDS = frozenset(
     {
         # wan/transfer.py — flow lifecycle and link occupancy
         "flow-start",
@@ -77,6 +83,24 @@ EVENT_KINDS = frozenset(
         "query-abort",
     }
 )
+
+#: Kinds added by schema v2: the serving layer's query lifecycle and the
+#: cube-cache's hit/miss/eviction stream (repro/serve/*).
+SERVE_EVENT_KINDS = frozenset(
+    {
+        "serve-queue",
+        "serve-shed",
+        "serve-admit",
+        "serve-start",
+        "serve-finish",
+        "cache-hit",
+        "cache-miss",
+        "cache-evict",
+    }
+)
+
+#: The full closed kind set of the current schema version.
+EVENT_KINDS = V1_EVENT_KINDS | SERVE_EVENT_KINDS
 
 #: Attribute keys carrying wall-measured values (excluded from digests;
 #: keys ending in ``wall_seconds`` are excluded by suffix as well).
@@ -279,10 +303,11 @@ def load_jsonl(path: str) -> Tuple[Dict[str, Any], List[TelemetryEvent]]:
             f"{path}: missing telemetry header line (is this a span trace?)"
         )
     version = header.get("version")
-    if version != TELEMETRY_VERSION:
+    if version not in SUPPORTED_VERSIONS:
+        supported = ", ".join(f"v{v}" for v in sorted(SUPPORTED_VERSIONS))
         raise ObservabilityError(
-            f"{path}: telemetry schema v{version} is not the supported "
-            f"v{TELEMETRY_VERSION}"
+            f"{path}: telemetry schema v{version} is not supported "
+            f"(supported: {supported})"
         )
     events: List[TelemetryEvent] = []
     for line_number, line in enumerate(lines[1:], start=2):

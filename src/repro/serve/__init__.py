@@ -1,0 +1,40 @@
+"""Concurrent multi-tenant query serving over one shared simulation clock.
+
+The serving layer turns the one-query-at-a-time reproduction into a
+multi-tenant front-end: an event-driven scheduler admits, queues, and
+interleaves many concurrent queries whose WAN flows and executor slots
+contend for the same capacity epochs (via
+:class:`repro.wan.transfer.WanSession` and the engine's plan/complete
+split), with weighted fair queueing across tenants, admission control,
+and a cube-serving result cache that reuses slices across tenants.
+"""
+
+from repro.serve.cache import CacheEntry, CacheStats, CubeCache
+from repro.serve.loadgen import Arrival, LoadGenerator
+from repro.serve.scheduler import (
+    ServeConfig,
+    ServedQuery,
+    ServeReport,
+    ServeScheduler,
+    TenantReport,
+    serve_workload,
+)
+from repro.serve.spec import canonical_query_key
+from repro.serve.tenants import Tenant, TenantScheduler
+
+__all__ = [
+    "Arrival",
+    "CacheEntry",
+    "CacheStats",
+    "CubeCache",
+    "LoadGenerator",
+    "ServeConfig",
+    "ServeReport",
+    "ServeScheduler",
+    "ServedQuery",
+    "Tenant",
+    "TenantReport",
+    "TenantScheduler",
+    "canonical_query_key",
+    "serve_workload",
+]

@@ -1,0 +1,648 @@
+"""The serve event loop: admission, shared-clock execution, completion.
+
+Three event sources drive one simulation clock:
+
+1. **arrivals** from the open-loop load generator,
+2. **flow completions** from the shared :class:`~repro.wan.transfer.
+   WanSession` (every in-flight query's shuffle flows contend for the
+   same max-min-fair capacity epochs),
+3. **query finishes** (a job's reduce stage ends ``reduce_seconds``
+   after its last inbound byte — a known absolute time the moment the
+   last flow drains).
+
+At each event the scheduler sheds or queues new arrivals (consulting the
+cube cache first), releases finished queries, and admits queued work
+under weighted fair queueing — planning each admitted job with the
+engine's plan/complete split at an absolute start offset gated by
+per-site executor-slot availability, so map stages from different
+queries also contend.
+
+Everything is seed-deterministic: event times come from the simulator
+and the seeded load generator, ties break on arrival index, and
+completions are processed in flow-submission order, so two runs with the
+same seed produce bit-identical reports (the CI serve-smoke gate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.controller import Controller
+from repro.engine.job import JobResult, PlannedJob
+from repro.errors import ServeError
+from repro.obs import instrument
+from repro.query.spec import RecurringQuery
+from repro.serve.cache import CubeCache
+from repro.serve.loadgen import Arrival, LoadGenerator
+from repro.serve.spec import canonical_query_key
+from repro.serve.tenants import Tenant, TenantScheduler
+from repro.systems.base import SystemConfig
+from repro.util.stats import mean, percentile
+from repro.wan.topology import WanTopology
+from repro.workloads.base import Workload
+
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of one serving run (all sim-deterministic)."""
+
+    seed: int = 11
+    num_tenants: int = 4
+    num_queries: int = 40
+    arrival_rate: float = 2.0  # aggregate queries per sim-second
+    zipf_s: float = 1.1
+    max_inflight: int = 8
+    max_inflight_per_tenant: int = 4
+    queue_depth: int = 16
+    cache_capacity: int = 32
+    cache_serve_seconds: float = 0.05  # fixed cost of a cube-cache answer
+    #: Per-site concurrent map-stage slots; None = the site's executor
+    #: count.  Lower it to sharpen cross-query compute contention.
+    map_slots_per_site: Optional[int] = None
+    #: Tenant weights, cycled over tenants (default: all 1.0).
+    tenant_weights: Tuple[float, ...] = ()
+
+    def tenant_list(self) -> List[Tenant]:
+        if self.num_tenants < 1:
+            raise ServeError("need at least one tenant")
+        weights = self.tenant_weights or (1.0,)
+        return [
+            Tenant(
+                name=f"tenant-{index:02d}",
+                weight=float(weights[index % len(weights)]),
+            )
+            for index in range(self.num_tenants)
+        ]
+
+
+@dataclass
+class ServedQuery:
+    """One arrival's full lifecycle on the shared clock."""
+
+    index: int
+    tenant: str
+    dataset_id: str
+    arrival: float
+    status: str = "queued"  # queued | executed | cached | shed
+    admit: Optional[float] = None
+    start: Optional[float] = None
+    finish: Optional[float] = None
+    wan_bytes: float = 0.0
+
+    @property
+    def qct(self) -> float:
+        """Queueing-inclusive latency: arrival to finish."""
+        if self.finish is None:
+            return math.inf
+        return self.finish - self.arrival
+
+    @property
+    def service_seconds(self) -> float:
+        """Execution-only latency: admission to finish."""
+        if self.finish is None or self.admit is None:
+            return 0.0
+        return self.finish - self.admit
+
+
+@dataclass
+class TenantReport:
+    name: str
+    weight: float
+    offered: int = 0
+    executed: int = 0
+    cached: int = 0
+    shed: int = 0
+    mean_qct: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return self.executed + self.cached
+
+
+@dataclass
+class ServeReport:
+    """What a serving run produced, ready for CLI/bench/CI consumption."""
+
+    config: ServeConfig
+    scheme: str
+    queries: List[ServedQuery] = field(default_factory=list)
+    tenants: List[TenantReport] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    makespan: float = 0.0  # sim time the last query finished
+    wall_seconds: float = 0.0  # excluded from digests by name
+
+    @property
+    def completed(self) -> List[ServedQuery]:
+        return [q for q in self.queries if q.status in ("executed", "cached")]
+
+    @property
+    def shed(self) -> int:
+        return sum(1 for q in self.queries if q.status == "shed")
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for q in self.queries if q.status == "executed")
+
+    @property
+    def latencies(self) -> List[float]:
+        return [q.qct for q in self.completed]
+
+    @property
+    def p50_qct(self) -> float:
+        return percentile(self.latencies, 50.0)
+
+    @property
+    def p99_qct(self) -> float:
+        return percentile(self.latencies, 99.0)
+
+    @property
+    def mean_qct(self) -> float:
+        return mean(self.latencies)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def total_wan_bytes(self) -> float:
+        return sum(q.wan_bytes for q in self.queries)
+
+    @property
+    def fairness(self) -> float:
+        """Jain's index over weight-normalized completed throughput.
+
+        1.0 means every tenant that offered load got service exactly in
+        proportion to its weight; 1/n means one tenant got everything.
+        """
+        shares = [
+            report.completed / report.weight
+            for report in self.tenants
+            if report.offered > 0
+        ]
+        if not shares:
+            return 1.0
+        squared_sum = sum(shares) ** 2
+        sum_squared = sum(share**2 for share in shares)
+        if sum_squared <= 0.0:  # no tenant completed anything yet
+            return 1.0
+        return squared_sum / (len(shares) * sum_squared)
+
+    def sim_digest(self) -> str:
+        """Hash of every sim-clock observable (wall excluded)."""
+        digest = hashlib.sha256()
+        for query in self.queries:
+            line = "|".join(
+                [
+                    str(query.index),
+                    query.tenant,
+                    query.dataset_id,
+                    query.status,
+                    _canonical(query.arrival),
+                    _canonical(query.admit),
+                    _canonical(query.start),
+                    _canonical(query.finish),
+                    _canonical(query.wan_bytes),
+                ]
+            )
+            digest.update(line.encode())
+            digest.update(b"\n")
+        digest.update(
+            f"cache|{self.cache_hits}|{self.cache_misses}|"
+            f"{self.cache_evictions}".encode()
+        )
+        return digest.hexdigest()
+
+    def latency_histogram(self, bins: int = 20) -> Dict[str, List[float]]:
+        """Fixed-width latency histogram (the CI artifact payload)."""
+        latencies = self.latencies
+        if not latencies or bins < 1:
+            return {"edges": [], "counts": []}
+        top = max(latencies)
+        width = top / bins if top > 0 else 1.0
+        counts = [0] * bins
+        for value in latencies:
+            slot = min(int(value / width), bins - 1) if width > 0 else 0
+            counts[slot] += 1
+        edges = [width * index for index in range(bins + 1)]
+        return {"edges": edges, "counts": counts}
+
+    def to_dict(self) -> Dict:
+        return {
+            "scheme": self.scheme,
+            "seed": self.config.seed,
+            "tenants": [
+                {
+                    "name": report.name,
+                    "weight": report.weight,
+                    "offered": report.offered,
+                    "executed": report.executed,
+                    "cached": report.cached,
+                    "shed": report.shed,
+                    "mean_qct": report.mean_qct,
+                }
+                for report in self.tenants
+            ],
+            "queries": len(self.queries),
+            "completed": len(self.completed),
+            "executed": self.executed,
+            "shed": self.shed,
+            "p50_qct": self.p50_qct,
+            "p99_qct": self.p99_qct,
+            "mean_qct": self.mean_qct,
+            "makespan": self.makespan,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_hit_rate": self.cache_hit_rate,
+            "fairness": self.fairness,
+            "total_wan_bytes": self.total_wan_bytes,
+            "sim_digest": self.sim_digest(),
+            "wall_seconds": self.wall_seconds,
+        }
+
+
+def _canonical(value: Optional[float]) -> str:
+    """Canonical float text for digests (matches telemetry_digest's idea)."""
+    if value is None:
+        return "-"
+    return format(float(value), ".12e")
+
+
+@dataclass
+class _Running:
+    """Book-keeping for one admitted, executing query."""
+
+    arrival: Arrival
+    tenant: str
+    query: RecurringQuery
+    planned: PlannedJob
+    remaining_flows: int
+    results: List = field(default_factory=list)
+    job: Optional[JobResult] = None
+
+
+class ServeScheduler:
+    """Serves one workload to many tenants over one shared sim clock."""
+
+    def __init__(
+        self,
+        controller: Controller,
+        workload: Workload,
+        config: ServeConfig = ServeConfig(),
+        tenants: Optional[Sequence[Tenant]] = None,
+    ) -> None:
+        if not workload.queries:
+            raise ServeError(f"workload {workload.name!r} has no queries")
+        self.controller = controller
+        self.workload = workload
+        self.config = config
+        self.tenants = TenantScheduler(
+            list(tenants) if tenants is not None else config.tenant_list(),
+            max_inflight=config.max_inflight,
+            max_inflight_per_tenant=config.max_inflight_per_tenant,
+            queue_depth=config.queue_depth,
+        )
+        self.cache = CubeCache(config.cache_capacity)
+        self.loadgen = LoadGenerator(
+            config.seed,
+            list(self.tenants.tenants),
+            len(workload.queries),
+            rate=config.arrival_rate,
+            zipf_s=config.zipf_s,
+        )
+        topology: WanTopology = controller.topology
+        self._slot_capacity = {
+            site.name: (
+                config.map_slots_per_site
+                if config.map_slots_per_site is not None
+                else site.executors
+            )
+            for site in topology
+        }
+        if any(cap < 1 for cap in self._slot_capacity.values()):
+            raise ServeError("map_slots_per_site must be >= 1")
+        self._site_busy: Dict[str, List[float]] = {
+            name: [] for name in self._slot_capacity
+        }
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> ServeReport:
+        """Drive the event loop to completion; returns the report."""
+        started_wall = time.perf_counter()  # lint: allow[R001]
+        engine = self.controller.engine
+        session = engine.scheduler.session()
+        arrivals = self.loadgen.generate(self.config.num_queries)
+        records: Dict[int, ServedQuery] = {}
+        running: Dict[int, _Running] = {}
+        finish_heap: List[Tuple[float, int]] = []
+        cursor = 0
+        clock = 0.0
+
+        while cursor < len(arrivals) or running or self.tenants.queued:
+            next_arrival = (
+                arrivals[cursor].time if cursor < len(arrivals) else math.inf
+            )
+            next_finish = finish_heap[0][0] if finish_heap else math.inf
+            limit = min(next_arrival, next_finish)
+            if not session.drained:
+                done = session.advance(limit=limit, stop_on_completion=True)
+                if done:
+                    clock = session.now
+                    self._absorb_flows(done, running, finish_heap, engine)
+                    continue
+            if math.isinf(limit):
+                stuck = self.tenants.queued
+                raise ServeError(
+                    f"admission wedged: {stuck} queries queued with no "
+                    "in-flight work and no arrivals left"
+                )
+            clock = max(clock, limit)
+            if next_finish <= next_arrival:
+                self._drain_finishes(clock, finish_heap, running, records)
+            else:
+                while (
+                    cursor < len(arrivals)
+                    and arrivals[cursor].time <= clock + _EPSILON
+                ):
+                    self._arrive(arrivals[cursor], records)
+                    cursor += 1
+            self._admit(clock, session, running, finish_heap, records, engine)
+
+        session.flush_telemetry()
+        report = self._build_report(records)
+        report.wall_seconds = time.perf_counter() - started_wall  # lint: allow[R001]
+        return report
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+
+    def _arrive(self, arrival: Arrival, records: Dict[int, ServedQuery]) -> None:
+        """Cache-check, then queue or shed one offered query."""
+        query = self.workload.queries[arrival.query_index]
+        record = ServedQuery(
+            index=arrival.index,
+            tenant=arrival.tenant,
+            dataset_id=query.spec.dataset_id,
+            arrival=arrival.time,
+        )
+        records[arrival.index] = record
+        telemetry = instrument.current().telemetry
+        key = canonical_query_key(query.spec)
+        entry = self.cache.lookup(key, arrival.time)
+        if entry is not None:
+            record.status = "cached"
+            record.admit = arrival.time
+            record.start = arrival.time
+            record.finish = arrival.time + self.config.cache_serve_seconds
+            if telemetry.enabled:
+                telemetry.emit(
+                    "serve-finish",
+                    t=record.finish,
+                    tenant=record.tenant,
+                    query=arrival.index,
+                    dataset=record.dataset_id,
+                    qct=record.qct,
+                    cached=True,
+                )
+            return
+        if not self.tenants.enqueue(arrival.tenant, arrival):
+            record.status = "shed"
+            if telemetry.enabled:
+                telemetry.emit(
+                    "serve-shed",
+                    t=arrival.time,
+                    tenant=record.tenant,
+                    query=arrival.index,
+                    dataset=record.dataset_id,
+                    queue_depth=self.config.queue_depth,
+                )
+            return
+        if telemetry.enabled:
+            telemetry.emit(
+                "serve-queue",
+                t=arrival.time,
+                tenant=record.tenant,
+                query=arrival.index,
+                dataset=record.dataset_id,
+                depth=len(self.tenants[record.tenant].queue),
+            )
+
+    def _admit(
+        self,
+        clock: float,
+        session,
+        running: Dict[int, _Running],
+        finish_heap: List[Tuple[float, int]],
+        records: Dict[int, ServedQuery],
+        engine,
+    ) -> None:
+        """Admit queued queries under WFQ until a cap binds."""
+        telemetry = instrument.current().telemetry
+        while True:
+            picked = self.tenants.next_admission()
+            if picked is None:
+                return
+            tenant, arrival = picked
+            query = self.workload.queries[arrival.query_index]
+            record = records[arrival.index]
+            start = self._slot_start(clock)
+            job_spec = self.controller.compile(self.workload, query.spec)
+            task_map, dead_sites = engine.resolve_routing(
+                self.controller.reduce_fractions, job_spec.num_reduce_tasks
+            )
+            planned = engine.plan_job(
+                self.workload.catalog.get(query.spec.dataset_id),
+                job_spec,
+                task_map,
+                dead_sites=dead_sites,
+                cube_sorted=self.controller.profile.uses_cubes,
+                tag=f"q{arrival.index}",
+                start_offset=start,
+            )
+            self._occupy_slots(start, planned)
+            record.status = "executing"
+            record.admit = clock
+            record.start = start
+            if telemetry.enabled:
+                telemetry.emit(
+                    "serve-admit",
+                    t=clock,
+                    tenant=tenant.name,
+                    query=arrival.index,
+                    dataset=record.dataset_id,
+                    queue_seconds=clock - arrival.time,
+                )
+                telemetry.emit(
+                    "serve-start",
+                    t=start,
+                    tenant=tenant.name,
+                    query=arrival.index,
+                    dataset=record.dataset_id,
+                    slot_wait_seconds=start - clock,
+                )
+            entry = _Running(
+                arrival=arrival,
+                tenant=tenant.name,
+                query=query,
+                planned=planned,
+                remaining_flows=len(planned.transfers),
+            )
+            running[arrival.index] = entry
+            if planned.transfers:
+                session.submit(planned.transfers)
+            else:
+                # No shuffle at all: the finish time is known right away.
+                entry.job = engine.complete_job(planned, [])
+                heapq.heappush(finish_heap, (entry.job.qct, arrival.index))
+
+    def _absorb_flows(
+        self,
+        done,
+        running: Dict[int, _Running],
+        finish_heap: List[Tuple[float, int]],
+        engine,
+    ) -> None:
+        """Route completed WAN flows to their queries; finish drained jobs."""
+        for result in done:
+            index = int(result.transfer.tag[1:])
+            entry = running[index]
+            entry.results.append(result)
+            entry.remaining_flows -= 1
+            if entry.remaining_flows == 0:
+                entry.job = engine.complete_job(entry.planned, entry.results)
+                heapq.heappush(finish_heap, (entry.job.qct, index))
+
+    def _drain_finishes(
+        self,
+        clock: float,
+        finish_heap: List[Tuple[float, int]],
+        running: Dict[int, _Running],
+        records: Dict[int, ServedQuery],
+    ) -> None:
+        """Retire every query whose reduce stage ended by ``clock``."""
+        telemetry = instrument.current().telemetry
+        while finish_heap and finish_heap[0][0] <= clock + _EPSILON:
+            finish, index = heapq.heappop(finish_heap)
+            entry = running.pop(index)
+            record = records[index]
+            record.status = "executed"
+            record.finish = finish
+            record.wan_bytes = entry.job.total_wan_bytes
+            self.tenants.release(entry.tenant)
+            # Deterministic completion order: profiler feedback and the
+            # recurrence counter advance exactly as queries finish.
+            self.controller.record_observation(entry.query, entry.job)
+            self.cache.insert(
+                canonical_query_key(entry.query.spec),
+                now=finish,
+                service_seconds=record.service_seconds,
+                wan_bytes=entry.job.total_wan_bytes,
+            )
+            if telemetry.enabled:
+                telemetry.emit(
+                    "serve-finish",
+                    t=finish,
+                    tenant=record.tenant,
+                    query=index,
+                    dataset=record.dataset_id,
+                    qct=record.qct,
+                    cached=False,
+                )
+
+    # ------------------------------------------------------------------
+    # executor-slot gating
+    # ------------------------------------------------------------------
+
+    def _slot_start(self, clock: float) -> float:
+        """Earliest time every site has a free map slot (>= ``clock``)."""
+        start = clock
+        for site, busy in self._site_busy.items():
+            still_busy = [until for until in busy if until > clock + _EPSILON]
+            self._site_busy[site] = still_busy
+            capacity = self._slot_capacity[site]
+            if len(still_busy) >= capacity:
+                ordered = sorted(still_busy)
+                start = max(start, ordered[len(ordered) - capacity])
+        return start
+
+    def _occupy_slots(self, start: float, planned: PlannedJob) -> None:
+        """Hold one slot per site for the query's map interval."""
+        for site, metrics in planned.per_site.items():
+            if metrics.excluded or metrics.map_finish <= start + _EPSILON:
+                continue
+            busy = [
+                until
+                for until in self._site_busy[site]
+                if until > start + _EPSILON
+            ]
+            busy.append(metrics.map_finish)
+            self._site_busy[site] = busy
+
+    # ------------------------------------------------------------------
+
+    def _build_report(self, records: Dict[int, ServedQuery]) -> ServeReport:
+        queries = [records[index] for index in sorted(records)]
+        makespan = max(
+            (q.finish for q in queries if q.finish is not None), default=0.0
+        )
+        tenant_reports = []
+        for tenant in self.tenants.tenants.values():
+            own = [q for q in queries if q.tenant == tenant.name]
+            done = [q for q in own if q.status in ("executed", "cached")]
+            tenant_reports.append(
+                TenantReport(
+                    name=tenant.name,
+                    weight=tenant.weight,
+                    offered=len(own),
+                    executed=sum(1 for q in own if q.status == "executed"),
+                    cached=sum(1 for q in own if q.status == "cached"),
+                    shed=sum(1 for q in own if q.status == "shed"),
+                    mean_qct=mean(q.qct for q in done),
+                )
+            )
+        return ServeReport(
+            config=self.config,
+            scheme=self.controller.profile.name,
+            queries=queries,
+            tenants=tenant_reports,
+            cache_hits=self.cache.stats.hits,
+            cache_misses=self.cache.stats.misses,
+            cache_evictions=self.cache.stats.evictions,
+            makespan=makespan,
+        )
+
+
+def serve_workload(
+    scheme: str,
+    workload_factory,
+    topology: WanTopology,
+    system_config: Optional[SystemConfig] = None,
+    serve_config: ServeConfig = ServeConfig(),
+) -> ServeReport:
+    """Prepare a scheme and serve a Zipf workload against it."""
+    from dataclasses import replace
+
+    from repro.systems.registry import make_system
+
+    config = system_config or SystemConfig()
+    if config.charge_rdd_overhead:
+        # RDD overhead is wall-measured; charging it into map_finish
+        # would make sim_digest() vary run to run.
+        config = replace(config, charge_rdd_overhead=False)
+    controller = make_system(scheme, topology, config)
+    workload = workload_factory()
+    controller.prepare(workload)
+    scheduler = ServeScheduler(controller, workload, serve_config)
+    return scheduler.run()

@@ -1,0 +1,38 @@
+"""Canonical query-spec keys for the cube-serving result cache."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.query.spec import QuerySpec
+
+
+def canonical_query_key(spec: QuerySpec) -> Tuple:
+    """A hashable identity under slice/dice equivalence.
+
+    Two specs that group by the same attributes (in any order), apply the
+    same equality filters (in any order), and request the same aggregates
+    (in any order) over the same dataset canonicalize to the same key, so
+    one tenant's materialized answer serves another tenant's re-ordered
+    phrasing of the same cube slice.  Changing any filter value, group-by
+    attribute, or aggregate — a different slice or dice — changes the key.
+    """
+    return (
+        spec.dataset_id,
+        tuple(sorted(spec.group_by)),
+        tuple(sorted(spec.filters)),
+        tuple(sorted(spec.aggregates)),
+        spec.query_class.value,
+    )
+
+
+def render_key(key: Tuple) -> str:
+    """Short printable form of a canonical key (telemetry payloads)."""
+    dataset, group_by, filters, aggregates, query_class = key
+    parts = [dataset, ",".join(group_by)]
+    if filters:
+        parts.append("&".join(f"{attr}={value}" for attr, value in filters))
+    if aggregates:
+        parts.append(",".join(aggregates))
+    parts.append(query_class)
+    return "|".join(parts)

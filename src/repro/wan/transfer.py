@@ -107,6 +107,250 @@ class _Flow:
     was_parked: bool = False
 
 
+class WanSession:
+    """A resumable WAN simulation sharing one clock across submitters.
+
+    :meth:`TransferScheduler.simulate` runs one batch to completion and
+    resets; a session instead stays open so *independent queries* can
+    keep injecting flows while earlier flows are still in flight — the
+    substrate of the concurrent serving layer (:mod:`repro.serve`).
+    Flows from every submitter contend for the same uplink/downlink
+    capacity epochs under the same max-min fair filling the batch path
+    uses; in fact the batch path is this class run to drain, so the two
+    cannot diverge.
+
+    Protocol::
+
+        session = WanSession(scheduler)
+        session.submit(first_query_flows)          # start >= session.now
+        done = session.advance(limit=next_event_t) # completions <= limit
+        session.submit(second_query_flows)         # mid-flight injection
+        done += session.advance()                  # drain
+
+    ``advance`` stops at the first round that completes flows (so the
+    caller can react — e.g. start a reduce stage — before the clock
+    moves on), at ``limit``, or when the session drains.  Completions
+    are returned as :class:`TransferResult` in flow-submission order
+    within each call.
+    """
+
+    def __init__(self, scheduler: "TransferScheduler") -> None:
+        self.scheduler = scheduler
+        self.now = 0.0
+        self.filling_rounds = 0
+        self.parked_seconds = 0.0
+        self._counter = itertools.count()
+        self._pending: List[_Flow] = []
+        self._head = 0
+        self._active: List[_Flow] = []
+        self._flows: List[_Flow] = []
+        self._finish_times: Dict[int, float] = {}
+        self._last_now = 0.0
+        # Telemetry coalescing state (see _emit_round_samples).
+        self._site_multipliers: Dict[str, float] = {}
+        self._pending_samples: Dict[_Resource, List[float]] = {}
+
+    @property
+    def drained(self) -> bool:
+        """True when no pending or in-flight flow remains."""
+        return self._head >= len(self._pending) and not self._active
+
+    def submit(self, transfers: Sequence[Transfer]) -> None:
+        """Inject flows; every effective start must be >= ``now``."""
+        scheduler = self.scheduler
+        scheduler._check_sites(transfers)
+        telemetry = instrument.current().telemetry
+        flows = [
+            _Flow(
+                flow_id=next(self._counter),
+                transfer=transfer,
+                remaining=transfer.num_bytes,
+            )
+            for transfer in transfers
+        ]
+        for flow in flows:
+            if scheduler._effective_start(flow.transfer) < self.now - _EPSILON_TIME:
+                raise TopologyError(
+                    f"flow {flow.transfer.src}->{flow.transfer.dst} starts at "
+                    f"{scheduler._effective_start(flow.transfer)} but the "
+                    f"session clock is already at {self.now}"
+                )
+        self._flows.extend(flows)
+        self._pending = self._pending[self._head:] + flows
+        self._pending.sort(
+            key=lambda flow: (
+                scheduler._effective_start(flow.transfer),
+                flow.flow_id,
+            )
+        )
+        self._head = 0
+        if telemetry.enabled:
+            # A submission can change per-link occupancy mid-segment;
+            # flush so coalesced samples never span the injection point.
+            self.scheduler._flush_link_samples(telemetry, self._pending_samples)
+
+    def advance(
+        self, limit: float = math.inf, stop_on_completion: bool = True
+    ) -> List[TransferResult]:
+        """Run filling rounds until ``limit``, a completion, or drain.
+
+        Returns the flows that finished (or failed their stall attempt)
+        during this call, in submission order.  The session clock ends at
+        ``min(limit, drain time)`` unless a completion stopped it first.
+        """
+        scheduler = self.scheduler
+        obs = instrument.current()
+        sanitizer = obs.sanitizer
+        telemetry = obs.telemetry
+        pending = self._pending
+        active = self._active
+        finish_times = self._finish_times
+        completed: List[int] = []
+
+        while self._head < len(pending) or active:
+            now = self.now
+            if not active:
+                next_start = scheduler._effective_start(
+                    pending[self._head].transfer
+                )
+                if next_start >= limit - _EPSILON_TIME and next_start > now:
+                    break
+                now = max(now, next_start)
+                self.now = now
+            # Admit every flow whose (latency-adjusted) start has arrived.
+            while (
+                self._head < len(pending)
+                and scheduler._effective_start(pending[self._head].transfer)
+                <= now + _EPSILON_TIME
+            ):
+                flow = pending[self._head]
+                self._head += 1
+                if telemetry.enabled:
+                    telemetry.emit(
+                        "flow-start",
+                        t=now,
+                        src=flow.transfer.src,
+                        dst=flow.transfer.dst,
+                        num_bytes=flow.transfer.num_bytes,
+                        tag=flow.transfer.tag,
+                        wan=flow.transfer.src != flow.transfer.dst,
+                    )
+                if flow.remaining <= _EPSILON_BYTES:
+                    finish_times[flow.flow_id] = max(
+                        now, scheduler._effective_start(flow.transfer)
+                    )
+                    completed.append(flow.flow_id)
+                    if telemetry.enabled:
+                        scheduler._emit_flow_finish(
+                            telemetry, flow, finish_times[flow.flow_id]
+                        )
+                else:
+                    active.append(flow)
+            if not active:
+                if completed and stop_on_completion:
+                    break
+                continue
+            if now >= limit - _EPSILON_TIME:
+                break
+
+            sample: Optional[Dict[str, Any]] = (
+                {} if telemetry.enabled else None
+            )
+            scheduler._assign_rates(active, now, sample)
+            self.filling_rounds += 1
+            next_arrival = (
+                scheduler._effective_start(pending[self._head].transfer)
+                if self._head < len(pending)
+                else None
+            )
+            extra_bound = None if math.isinf(limit) else limit - now
+            horizon = scheduler._next_event_horizon(
+                active, next_arrival, now, extra_bound=extra_bound
+            )
+            if sample is not None:
+                scheduler._emit_round_samples(
+                    telemetry, sample, now, horizon, self._site_multipliers,
+                    self._pending_samples,
+                )
+            for flow in active:
+                if flow.rate > 0:
+                    flow.remaining -= flow.rate * horizon
+                else:
+                    flow.parked_seconds += horizon
+                    self.parked_seconds += horizon
+            now += horizon
+            self.now = now
+            if sanitizer.enabled:
+                sanitizer.check_clock(self._last_now, now, where="wan-filling")
+            self._last_now = now
+
+            still_active: List[_Flow] = []
+            round_completed = False
+            for flow in active:
+                if flow.remaining <= _EPSILON_BYTES:
+                    finish_times[flow.flow_id] = now
+                    completed.append(flow.flow_id)
+                    round_completed = True
+                    if telemetry.enabled:
+                        scheduler._emit_flow_finish(telemetry, flow, now)
+                elif (
+                    flow.rate <= 0.0
+                    and flow.parked_seconds
+                    >= scheduler.stall_timeout_seconds - _EPSILON_TIME
+                ):
+                    flow.failed = True
+                    finish_times[flow.flow_id] = now
+                    completed.append(flow.flow_id)
+                    round_completed = True
+                    if telemetry.enabled:
+                        telemetry.emit(
+                            "flow-fail",
+                            t=now,
+                            src=flow.transfer.src,
+                            dst=flow.transfer.dst,
+                            num_bytes=flow.transfer.num_bytes,
+                            tag=flow.transfer.tag,
+                            parked_seconds=flow.parked_seconds,
+                        )
+                else:
+                    still_active.append(flow)
+            active[:] = still_active
+            if round_completed and stop_on_completion:
+                break
+
+        if self.drained and not completed and not math.isinf(limit):
+            # Idle session: snap the clock forward so the caller's next
+            # submission (at its event time == limit) is never "late".
+            self.now = max(self.now, limit)
+        flow_index = {flow.flow_id: flow for flow in self._flows}
+        return [
+            TransferResult(
+                transfer=flow_index[flow_id].transfer,
+                finish_time=finish_times[flow_id],
+                failed=flow_index[flow_id].failed,
+            )
+            for flow_id in sorted(completed)
+        ]
+
+    def flush_telemetry(self) -> None:
+        """Emit every pending coalesced link segment (call at drain)."""
+        telemetry = instrument.current().telemetry
+        if telemetry.enabled:
+            self.scheduler._flush_link_samples(telemetry, self._pending_samples)
+
+    def all_results(self) -> List[TransferResult]:
+        """Results for every finished flow, in submission order."""
+        return [
+            TransferResult(
+                transfer=flow.transfer,
+                finish_time=self._finish_times[flow.flow_id],
+                failed=flow.failed,
+            )
+            for flow in self._flows
+            if flow.flow_id in self._finish_times
+        ]
+
+
 class TransferScheduler:
     """Simulates a batch of transfers over a :class:`WanTopology`.
 
@@ -198,139 +442,23 @@ class TransferScheduler:
     def _simulate(
         self, transfers: Sequence[Transfer]
     ) -> Tuple[List[TransferResult], int, float]:
-        """The event loop.
+        """The batch event loop: a :class:`WanSession` run to drain.
 
-        Returns results, progressive-filling rounds, and total seconds
-        flows spent parked at zero capacity (0.0 on fault-free runs).
-        Admission walks an index cursor over the start-sorted flow list,
-        so a batch of n flows admits in O(n) total instead of the O(n²)
-        that popping the head of a list costs.
+        Returns results (in input order), progressive-filling rounds, and
+        total seconds flows spent parked at zero capacity (0.0 on
+        fault-free runs).  Admission walks an index cursor over the
+        start-sorted flow list, so a batch of n flows admits in O(n)
+        total instead of the O(n²) that popping the head of a list costs.
         """
-        self._check_sites(transfers)
-        obs = instrument.current()
-        sanitizer = obs.sanitizer
-        telemetry = obs.telemetry
-        site_multipliers: Dict[str, float] = {}
-        pending_samples: Dict[_Resource, List[float]] = {}
-        counter = itertools.count()
-        flows = [
-            _Flow(flow_id=next(counter), transfer=transfer, remaining=transfer.num_bytes)
-            for transfer in transfers
-        ]
-        pending = sorted(
-            flows,
-            key=lambda flow: (self._effective_start(flow.transfer), flow.flow_id),
-        )
-        head = 0
-        active: List[_Flow] = []
-        finish_times: Dict[int, float] = {}
-        now = 0.0
-        last_now = 0.0
-        filling_rounds = 0
-        parked_total = 0.0
+        session = WanSession(self)
+        session.submit(transfers)
+        session.advance(stop_on_completion=False)
+        session.flush_telemetry()
+        return session.all_results(), session.filling_rounds, session.parked_seconds
 
-        while head < len(pending) or active:
-            if not active:
-                now = max(now, self._effective_start(pending[head].transfer))
-            # Admit every flow whose (latency-adjusted) start has arrived.
-            while (
-                head < len(pending)
-                and self._effective_start(pending[head].transfer)
-                <= now + _EPSILON_TIME
-            ):
-                flow = pending[head]
-                head += 1
-                if telemetry.enabled:
-                    telemetry.emit(
-                        "flow-start",
-                        t=now,
-                        src=flow.transfer.src,
-                        dst=flow.transfer.dst,
-                        num_bytes=flow.transfer.num_bytes,
-                        tag=flow.transfer.tag,
-                        wan=flow.transfer.src != flow.transfer.dst,
-                    )
-                if flow.remaining <= _EPSILON_BYTES:
-                    finish_times[flow.flow_id] = max(
-                        now, self._effective_start(flow.transfer)
-                    )
-                    if telemetry.enabled:
-                        self._emit_flow_finish(
-                            telemetry, flow, finish_times[flow.flow_id]
-                        )
-                else:
-                    active.append(flow)
-            if not active:
-                continue
-
-            sample: Optional[Dict[str, Any]] = (
-                {} if telemetry.enabled else None
-            )
-            self._assign_rates(active, now, sample)
-            filling_rounds += 1
-            next_arrival = (
-                self._effective_start(pending[head].transfer)
-                if head < len(pending)
-                else None
-            )
-            horizon = self._next_event_horizon(active, next_arrival, now)
-            if sample is not None:
-                self._emit_round_samples(
-                    telemetry, sample, now, horizon, site_multipliers,
-                    pending_samples,
-                )
-            for flow in active:
-                if flow.rate > 0:
-                    flow.remaining -= flow.rate * horizon
-                else:
-                    flow.parked_seconds += horizon
-                    parked_total += horizon
-            now += horizon
-            if sanitizer.enabled:
-                sanitizer.check_clock(last_now, now, where="wan-filling")
-            last_now = now
-
-            still_active: List[_Flow] = []
-            for flow in active:
-                if flow.remaining <= _EPSILON_BYTES:
-                    finish_times[flow.flow_id] = now
-                    if telemetry.enabled:
-                        self._emit_flow_finish(telemetry, flow, now)
-                elif (
-                    flow.rate <= 0.0
-                    and flow.parked_seconds
-                    >= self.stall_timeout_seconds - _EPSILON_TIME
-                ):
-                    flow.failed = True
-                    finish_times[flow.flow_id] = now
-                    if telemetry.enabled:
-                        telemetry.emit(
-                            "flow-fail",
-                            t=now,
-                            src=flow.transfer.src,
-                            dst=flow.transfer.dst,
-                            num_bytes=flow.transfer.num_bytes,
-                            tag=flow.transfer.tag,
-                            parked_seconds=flow.parked_seconds,
-                        )
-                else:
-                    still_active.append(flow)
-            active = still_active
-
-        if telemetry.enabled:
-            self._flush_link_samples(telemetry, pending_samples)
-        return (
-            [
-                TransferResult(
-                    transfer=flow.transfer,
-                    finish_time=finish_times[flow.flow_id],
-                    failed=flow.failed,
-                )
-                for flow in flows
-            ],
-            filling_rounds,
-            parked_total,
-        )
+    def session(self) -> WanSession:
+        """Open a resumable shared-clock session (the serving substrate)."""
+        return WanSession(self)
 
     def makespan(self, transfers: Sequence[Transfer]) -> float:
         """Time at which the last transfer completes (0.0 for none)."""
@@ -681,7 +809,11 @@ class TransferScheduler:
         sample["users"] = users
 
     def _next_event_horizon(
-        self, active: List[_Flow], next_arrival: Optional[float], now: float
+        self,
+        active: List[_Flow],
+        next_arrival: Optional[float],
+        now: float,
+        extra_bound: Optional[float] = None,
     ) -> float:
         """Time until the next completion, arrival, capacity change, or
         park-timeout expiry.
@@ -690,7 +822,9 @@ class TransferScheduler:
         completion event, but an upcoming capacity change point or a
         finite stall timeout still bounds the horizon; only when *none*
         of the four event sources lies ahead is the simulation genuinely
-        stuck and the stall error raised.
+        stuck and the stall error raised.  ``extra_bound`` (a session's
+        advance limit) caps the horizon and also rescues an otherwise
+        stalled round — the session will simply stop at its limit.
         """
         horizon = math.inf
         parked = False
@@ -710,6 +844,8 @@ class TransferScheduler:
             next_change = self._next_capacity_change(now)
             if next_change is not None:
                 horizon = min(horizon, next_change - now)
+        if extra_bound is not None:
+            horizon = min(horizon, extra_bound)
         if math.isinf(horizon):
             raise TopologyError("transfer simulation stalled (all rates zero)")
         return max(horizon, _EPSILON_TIME)

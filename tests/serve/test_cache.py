@@ -1,0 +1,136 @@
+"""Cube-serving cache: canonical keys, LRU bound, telemetry counters."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.query.spec import QueryClass, QuerySpec
+from repro.serve import CubeCache, canonical_query_key
+from repro.serve.spec import render_key
+
+
+def spec(
+    dataset="ds-0",
+    group_by=("region", "device"),
+    filters=(("os", "linux"),),
+    aggregates=("count",),
+    query_class=QueryClass.AGGREGATION,
+):
+    return QuerySpec(
+        dataset_id=dataset,
+        group_by=tuple(group_by),
+        query_class=query_class,
+        aggregates=tuple(aggregates),
+        filters=tuple(filters),
+    )
+
+
+class TestCanonicalKey:
+    def test_attribute_order_is_irrelevant(self):
+        a = spec(group_by=("region", "device"))
+        b = spec(group_by=("device", "region"))
+        assert canonical_query_key(a) == canonical_query_key(b)
+
+    def test_filter_order_is_irrelevant(self):
+        a = spec(filters=(("os", "linux"), ("tier", "gold")))
+        b = spec(filters=(("tier", "gold"), ("os", "linux")))
+        assert canonical_query_key(a) == canonical_query_key(b)
+
+    def test_different_slice_differs(self):
+        # Same dice, different slice: a changed filter value.
+        a = spec(filters=(("os", "linux"),))
+        b = spec(filters=(("os", "darwin"),))
+        assert canonical_query_key(a) != canonical_query_key(b)
+
+    def test_different_dice_differs(self):
+        a = spec(group_by=("region", "device"))
+        b = spec(group_by=("region",))
+        assert canonical_query_key(a) != canonical_query_key(b)
+
+    def test_dataset_and_class_differ(self):
+        assert canonical_query_key(spec(dataset="ds-0")) != canonical_query_key(
+            spec(dataset="ds-1")
+        )
+        assert canonical_query_key(
+            spec(query_class=QueryClass.SCAN)
+        ) != canonical_query_key(spec(query_class=QueryClass.AGGREGATION))
+
+    def test_render_key_is_printable(self):
+        rendered = render_key(canonical_query_key(spec()))
+        assert "ds-0" in rendered and "region" in rendered
+
+
+class TestCubeCache:
+    def test_hit_after_insert(self):
+        cache = CubeCache(capacity=4)
+        key = canonical_query_key(spec())
+        assert cache.lookup(key, now=0.0) is None
+        cache.insert(key, now=1.0, service_seconds=5.0, wan_bytes=100.0)
+        entry = cache.lookup(key, now=2.0)
+        assert entry is not None
+        assert entry.service_seconds == 5.0
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_reordered_spec_hits_same_entry(self):
+        cache = CubeCache(capacity=4)
+        cache.insert(
+            canonical_query_key(spec(group_by=("region", "device"))),
+            now=0.0, service_seconds=1.0, wan_bytes=0.0,
+        )
+        assert cache.lookup(
+            canonical_query_key(spec(group_by=("device", "region"))), now=1.0
+        ) is not None
+
+    def test_slice_change_misses(self):
+        cache = CubeCache(capacity=4)
+        cache.insert(
+            canonical_query_key(spec(filters=(("os", "linux"),))),
+            now=0.0, service_seconds=1.0, wan_bytes=0.0,
+        )
+        assert cache.lookup(
+            canonical_query_key(spec(filters=(("os", "darwin"),))), now=1.0
+        ) is None
+
+    def test_eviction_bounds_size(self):
+        cache = CubeCache(capacity=2)
+        keys = [canonical_query_key(spec(dataset=f"ds-{i}")) for i in range(5)]
+        for index, key in enumerate(keys):
+            cache.insert(key, now=float(index), service_seconds=1.0, wan_bytes=0.0)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 3
+        # LRU: only the two most recent survive.
+        assert keys[-1] in cache and keys[-2] in cache
+        assert keys[0] not in cache
+
+    def test_lookup_refreshes_recency(self):
+        cache = CubeCache(capacity=2)
+        keys = [canonical_query_key(spec(dataset=f"ds-{i}")) for i in range(3)]
+        cache.insert(keys[0], now=0.0, service_seconds=1.0, wan_bytes=0.0)
+        cache.insert(keys[1], now=1.0, service_seconds=1.0, wan_bytes=0.0)
+        cache.lookup(keys[0], now=2.0)  # refresh: key 1 is now LRU
+        cache.insert(keys[2], now=3.0, service_seconds=1.0, wan_bytes=0.0)
+        assert keys[0] in cache and keys[1] not in cache
+
+    def test_invalidate_dataset_drops_all_slices(self):
+        cache = CubeCache(capacity=8)
+        for group in (("a",), ("b",), ("a", "b")):
+            cache.insert(
+                canonical_query_key(spec(dataset="ds-0", group_by=group)),
+                now=0.0, service_seconds=1.0, wan_bytes=0.0,
+            )
+        other = canonical_query_key(spec(dataset="ds-1"))
+        cache.insert(other, now=0.0, service_seconds=1.0, wan_bytes=0.0)
+        assert cache.invalidate_dataset("ds-0", now=1.0) == 3
+        assert len(cache) == 1 and other in cache
+        assert cache.stats.invalidations == 3
+
+    def test_zero_capacity_never_stores(self):
+        cache = CubeCache(capacity=0)
+        key = canonical_query_key(spec())
+        cache.insert(key, now=0.0, service_seconds=1.0, wan_bytes=0.0)
+        assert len(cache) == 0
+        assert cache.lookup(key, now=1.0) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ServeError):
+            CubeCache(capacity=-1)

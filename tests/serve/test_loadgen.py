@@ -1,0 +1,76 @@
+"""Load generator: seed determinism and the Zipf/Poisson shape."""
+
+import math
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import LoadGenerator
+
+NAMES = ("t0", "t1", "t2", "t3")
+
+
+class TestDeterminism:
+    def test_same_seed_bit_identical(self):
+        first = LoadGenerator(11, NAMES, num_workload_queries=6).generate(50)
+        second = LoadGenerator(11, NAMES, num_workload_queries=6).generate(50)
+        assert first == second
+
+    def test_different_seed_differs(self):
+        first = LoadGenerator(11, NAMES, num_workload_queries=6).generate(50)
+        second = LoadGenerator(12, NAMES, num_workload_queries=6).generate(50)
+        assert first != second
+
+    def test_prefix_stability(self):
+        # Asking for more arrivals never rewrites the earlier ones.
+        gen = LoadGenerator(11, NAMES, num_workload_queries=6)
+        assert gen.generate(50)[:20] == gen.generate(20)
+
+
+class TestShape:
+    def test_arrivals_sorted_and_indexed(self):
+        arrivals = LoadGenerator(7, NAMES, num_workload_queries=4).generate(40)
+        assert [a.index for a in arrivals] == list(range(40))
+        times = [a.time for a in arrivals]
+        assert times == sorted(times)
+        assert all(t > 0.0 for t in times)
+
+    def test_rate_scales_arrival_span(self):
+        slow = LoadGenerator(11, NAMES, 4, rate=1.0).generate(200)
+        fast = LoadGenerator(11, NAMES, 4, rate=10.0).generate(200)
+        # Same exponential draws scaled by 1/rate: 10x rate, 1/10 span.
+        assert math.isclose(slow[-1].time, 10.0 * fast[-1].time, rel_tol=1e-9)
+
+    def test_zipf_popularity_is_monotone(self):
+        pmf = LoadGenerator(11, NAMES, 4, zipf_s=1.1).popularity()
+        assert math.isclose(sum(pmf), 1.0, rel_tol=1e-12)
+        assert all(a > b for a, b in zip(pmf, pmf[1:]))
+
+    def test_zipf_zero_is_uniform(self):
+        pmf = LoadGenerator(11, NAMES, 4, zipf_s=0.0).popularity()
+        assert all(math.isclose(p, 0.25, rel_tol=1e-12) for p in pmf)
+
+    def test_skew_follows_popularity(self):
+        arrivals = LoadGenerator(11, NAMES, 4, zipf_s=2.0).generate(400)
+        counts = {name: 0 for name in NAMES}
+        for arrival in arrivals:
+            counts[arrival.tenant] += 1
+        assert counts["t0"] > counts["t3"]
+
+    def test_query_indices_in_range(self):
+        arrivals = LoadGenerator(11, NAMES, num_workload_queries=3).generate(60)
+        assert {a.query_index for a in arrivals} <= {0, 1, 2}
+
+
+class TestValidation:
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ServeError):
+            LoadGenerator(11, (), 4)
+        with pytest.raises(ServeError):
+            LoadGenerator(11, NAMES, 0)
+        with pytest.raises(ServeError):
+            LoadGenerator(11, NAMES, 4, rate=0.0)
+        with pytest.raises(ServeError):
+            LoadGenerator(11, NAMES, 4, zipf_s=-0.5)
+        with pytest.raises(ServeError):
+            LoadGenerator(11, NAMES, 4).generate(0)

@@ -1,0 +1,117 @@
+"""WFQ admission and shedding semantics of the tenant scheduler."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import Tenant, TenantScheduler
+
+
+def make(weights, **kwargs):
+    tenants = [
+        Tenant(name=f"t{i}", weight=weight)
+        for i, weight in enumerate(weights)
+    ]
+    return TenantScheduler(tenants, **kwargs)
+
+
+class TestWfq:
+    def test_admissions_proportional_to_weights(self):
+        # Backlogged 2:1 tenants must be admitted 2:1 under stride WFQ.
+        sched = make([2.0, 1.0], max_inflight=1, max_inflight_per_tenant=1,
+                     queue_depth=100)
+        for i in range(30):
+            sched.enqueue("t0", i)
+            sched.enqueue("t1", i)
+        admitted = []
+        for _ in range(30):
+            tenant, _ = sched.next_admission()
+            admitted.append(tenant.name)
+            sched.release(tenant.name)
+        assert admitted.count("t0") == 20
+        assert admitted.count("t1") == 10
+
+    def test_equal_weights_round_robin(self):
+        sched = make([1.0, 1.0], max_inflight=1, max_inflight_per_tenant=1,
+                     queue_depth=100)
+        for i in range(10):
+            sched.enqueue("t0", i)
+            sched.enqueue("t1", i)
+        admitted = []
+        for _ in range(10):
+            tenant, _ = sched.next_admission()
+            admitted.append(tenant.name)
+            sched.release(tenant.name)
+        assert admitted.count("t0") == 5
+        assert admitted.count("t1") == 5
+
+    def test_idle_tenant_banks_no_credit(self):
+        # t1 stays idle while t0 is served; when t1 wakes it must not
+        # monopolize admissions to "catch up" on its idle time.
+        sched = make([1.0, 1.0], max_inflight=1, max_inflight_per_tenant=1,
+                     queue_depth=100)
+        for i in range(20):
+            sched.enqueue("t0", i)
+        for _ in range(10):
+            tenant, _ = sched.next_admission()
+            sched.release(tenant.name)
+        for i in range(20):
+            sched.enqueue("t1", i)
+        admitted = []
+        for _ in range(10):
+            tenant, _ = sched.next_admission()
+            admitted.append(tenant.name)
+            sched.release(tenant.name)
+        assert admitted.count("t0") == 5
+        assert admitted.count("t1") == 5
+
+
+class TestAdmissionControl:
+    def test_global_inflight_cap(self):
+        sched = make([1.0, 1.0], max_inflight=2, max_inflight_per_tenant=2,
+                     queue_depth=10)
+        for i in range(4):
+            sched.enqueue("t0", i)
+        assert sched.next_admission() is not None
+        assert sched.next_admission() is not None
+        assert sched.next_admission() is None  # global cap reached
+        sched.release("t0")
+        assert sched.next_admission() is not None
+
+    def test_per_tenant_inflight_cap(self):
+        sched = make([1.0, 1.0], max_inflight=8, max_inflight_per_tenant=1,
+                     queue_depth=10)
+        sched.enqueue("t0", 0)
+        sched.enqueue("t0", 1)
+        sched.enqueue("t1", 0)
+        first, _ = sched.next_admission()
+        assert first.name == "t0"
+        second, _ = sched.next_admission()
+        assert second.name == "t1"  # t0 capped at 1 in flight
+        assert sched.next_admission() is None
+
+    def test_queue_depth_sheds(self):
+        sched = make([1.0], queue_depth=2)
+        assert sched.enqueue("t0", 0)
+        assert sched.enqueue("t0", 1)
+        assert not sched.enqueue("t0", 2)  # shed
+        assert sched["t0"].shed == 1
+        assert sched.queued == 2
+
+    def test_release_without_admission_rejected(self):
+        sched = make([1.0])
+        with pytest.raises(ServeError):
+            sched.release("t0")
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ServeError):
+            TenantScheduler([Tenant("t0"), Tenant("t0")])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ServeError):
+            Tenant("t0", weight=0.0)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ServeError):
+            TenantScheduler([])
