@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-static determinism sanitize chaos test bench-smoke serve-smoke profile telemetry check
+.PHONY: lint lint-static determinism sanitize chaos test parity bench-smoke serve-smoke profile telemetry check
 
 lint:  ## static analysis: per-file rules R001-R008 over the shipped tree
 	$(PYTHON) -m repro.lint src/repro benchmarks
@@ -29,8 +29,13 @@ chaos:  ## fault-injected run (sanitized) + chaos determinism smoke
 test:  ## tier-1 test suite
 	$(PYTHON) -m pytest -x -q
 
+parity:  ## scalar/columnar hot-path parity suite (bit-identity oracle)
+	$(PYTHON) -m pytest -q tests/engine/test_columnar_parity.py \
+		tests/similarity/test_columnar_parity.py \
+		tests/placement/test_warm_start.py
+
 bench-smoke:  ## smoke benchmarks vs the committed baseline (sim gate only)
-	$(PYTHON) -m repro bench --suite smoke --compare BENCH_1.json \
+	$(PYTHON) -m repro bench --suite smoke --compare BENCH_3.json \
 		--ignore-wall --out bench_smoke.json
 
 serve-smoke:  ## two same-seed serve runs must produce bit-identical sim digests
@@ -53,4 +58,4 @@ telemetry:  ## chaos run with telemetry capture + HTML dashboard render
 		--queries 2 --chaos flaky-wan --telemetry telemetry.jsonl
 	$(PYTHON) -m repro report telemetry.jsonl --out report.html
 
-check: lint lint-static determinism sanitize chaos test bench-smoke serve-smoke telemetry  ## everything CI gates on
+check: lint lint-static determinism sanitize chaos test parity bench-smoke serve-smoke telemetry  ## everything CI gates on

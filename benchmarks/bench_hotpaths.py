@@ -1,0 +1,169 @@
+"""Hot-path microbenchmarks: combine, shuffle routing, MinHash, DIMSUM.
+
+The table/figure benches wrap these paths in WAN simulation, LP solves
+and workload generation, so even large hot-path speedups dilute to
+modest end-to-end ratios (Amdahl).  These cases drive each hot path
+directly at batch scale: the measured region is >=80% inside the path
+under test, so before/after ratios reflect the columnar rewrite itself.
+
+Every case calls the public record-level API through a feature guard
+(``hasattr``), so this file also runs unmodified against trees that
+predate the batched entry points — that is how the "before" numbers in
+README.md were captured.  Sim metrics are pure functions of the outputs
+and gate bit-identity across the rewrite.
+
+Input datasets are deterministic fixtures keyed by the harness seed and
+cached across timed repetitions on purpose (they are the workload, not
+the system under test); the reset hook clearing experiment caches does
+not apply here.
+"""
+
+import time
+from functools import lru_cache
+
+from common import bench_seed, register_bench
+from repro.engine.combiner import combine
+from repro.engine.shuffle import ReduceTaskMap
+from repro.similarity.dimsum import DimsumConfig, dimsum_similarity_matrix
+from repro.similarity.minhash import MinHasher
+from repro.types import Record
+from repro.util.rng import derive_rng
+
+
+@lru_cache(maxsize=4)
+def _combine_records(seed):
+    """80k two-field records over ~2k skewed compound keys."""
+    rng = derive_rng(seed, "hotpaths", "combine")
+    urls = [f"url-{value}" for value in rng.zipf(1.8, size=80_000) % 2000]
+    regions = [f"region-{int(value)}" for value in rng.integers(0, 8, size=80_000)]
+    sizes = rng.uniform(1.0, 100_000.0, size=80_000)
+    return [
+        Record((url, region), size_bytes=float(size))
+        for url, region, size in zip(urls, regions, sizes)
+    ]
+
+
+@lru_cache(maxsize=4)
+def _routing_keys(seed):
+    """50k distinct compound keys."""
+    rng = derive_rng(seed, "hotpaths", "routing")
+    salts = rng.integers(0, 1 << 30, size=50_000)
+    return [(f"url-{index}", int(salt)) for index, salt in enumerate(salts)]
+
+
+@lru_cache(maxsize=4)
+def _minhash_sets(seed):
+    """400 item sets of ~80 keys with heavy cross-set overlap."""
+    rng = derive_rng(seed, "hotpaths", "minhash")
+    sets = []
+    for index in range(400):
+        base = (index // 8) * 300
+        offset = int(rng.integers(0, 50))
+        sets.append(tuple(f"key-{base + offset + step}" for step in range(80)))
+    return sets
+
+
+@lru_cache(maxsize=4)
+def _dimsum_partitions(seed):
+    """40 partitions of 200 keys in groups of 5 similar partitions."""
+    rng = derive_rng(seed, "hotpaths", "dimsum")
+    partitions = []
+    for index in range(40):
+        base = (index // 5) * 400
+        offset = int(rng.integers(0, 60))
+        partitions.append(frozenset(range(base + offset, base + offset + 200)))
+    return tuple(partitions)
+
+
+@register_bench(
+    "hotpath-combine",
+    suites=("hotpaths",),
+    description="Map-side combine over 80k skewed records (columnar path)",
+)
+def bench_hotpath_combine():
+    records = _combine_records(bench_seed())
+    # Wall-clock on purpose: the combine call is the system under test.
+    started = time.perf_counter()  # lint: allow[R001]
+    output = combine(records, key_indices=[0, 1], reduction_ratio=0.5)
+    elapsed = time.perf_counter() - started  # lint: allow[R001]
+    sim = {
+        "combine.num_records": float(output.num_records),
+        "combine.map_output_bytes": output.map_output_bytes,
+        "combine.total_bytes": output.total_bytes,
+        "combine.max_merged": float(
+            max(record.merged_count for record in output.records.values())
+        ),
+    }
+    return {"sim": sim, "wall": {"combine_seconds": elapsed}}
+
+
+@register_bench(
+    "hotpath-shuffle-route",
+    suites=("hotpaths",),
+    description="Key->task->site routing for 50k distinct keys",
+)
+def bench_hotpath_shuffle_route():
+    keys = _routing_keys(bench_seed())
+    fractions = {f"site-{index}": 1.0 for index in range(10)}
+    task_map = ReduceTaskMap.from_fractions(fractions, num_tasks=64)
+    started = time.perf_counter()  # lint: allow[R001]
+    if hasattr(task_map, "routing_table"):
+        table = task_map.routing_table(keys)
+    else:  # pre-batching trees: per-key routing
+        table = {key: task_map.site_of_key(key) for key in keys}
+    elapsed = time.perf_counter() - started  # lint: allow[R001]
+    per_site = {}
+    for site in table.values():
+        per_site[site] = per_site.get(site, 0) + 1
+    sim = {
+        "route.distinct_keys": float(len(table)),
+        "route.max_site_share": max(per_site.values()) / len(table),
+        "route.sites_used": float(len(per_site)),
+    }
+    return {"sim": sim, "wall": {"route_seconds": elapsed}}
+
+
+@register_bench(
+    "hotpath-minhash",
+    suites=("hotpaths",),
+    description="MinHash signatures for 400 sets x 80 items (batched path)",
+)
+def bench_hotpath_minhash():
+    sets = _minhash_sets(bench_seed())
+    hasher = MinHasher(num_hashes=64, seed=bench_seed())
+    started = time.perf_counter()  # lint: allow[R001]
+    if hasattr(hasher, "signatures"):
+        signatures = hasher.signatures(sets)
+    else:  # pre-batching trees: per-set signatures
+        signatures = [hasher.signature(items) for items in sets]
+    elapsed = time.perf_counter() - started  # lint: allow[R001]
+    # Sums of uint32 slots stay far below 2^53, so the float is exact.
+    sim = {
+        "minhash.first_slot_sum": float(
+            sum(signature.values[0] for signature in signatures)
+        ),
+        "minhash.neighbor_estimate": signatures[0].estimate_jaccard(signatures[1]),
+        "minhash.far_estimate": signatures[0].estimate_jaccard(signatures[-1]),
+    }
+    return {"sim": sim, "wall": {"minhash_seconds": elapsed}}
+
+
+@register_bench(
+    "hotpath-dimsum",
+    suites=("hotpaths",),
+    description="DIMSUM similarity matrix over 40 partitions (estimate path)",
+)
+def bench_hotpath_dimsum():
+    partitions = _dimsum_partitions(bench_seed())
+    config = DimsumConfig(
+        gamma=8.0, num_hashes=128, seed=bench_seed(), exact_below=0
+    )
+    started = time.perf_counter()  # lint: allow[R001]
+    matrix, stats = dimsum_similarity_matrix(list(partitions), config)
+    elapsed = time.perf_counter() - started  # lint: allow[R001]
+    sim = {
+        "dimsum.matrix_sum": float(matrix.sum()),
+        "dimsum.pairs_examined": float(stats.pairs_examined),
+        "dimsum.pairs_skipped": float(stats.pairs_skipped),
+    }
+    return {"sim": sim, "wall": {"dimsum_seconds": elapsed}}

@@ -21,7 +21,7 @@ from repro.errors import BenchError
 from repro.util.stats import stdev
 
 #: The curated subsets `repro bench --suite` accepts.
-SUITES = ("smoke", "figures", "tables", "ablations", "serve", "full")
+SUITES = ("smoke", "figures", "tables", "ablations", "serve", "hotpaths", "full")
 
 ProgressFn = Callable[[str], None]
 

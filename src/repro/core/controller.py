@@ -128,6 +128,9 @@ class Controller:
         self.checker = SimilarityChecker()
         self._cubes: Dict[Tuple[str, str], DimensionCubeSet] = {}
         self._fractions: Optional[Dict[str, float]] = None
+        #: Task-LP basis of the standing plan; degraded replans warm-start
+        #: the simplex backend from its surviving-site restriction.
+        self._task_basis: List[str] = []
         self._prepared: Optional[PreparationReport] = None
         self._movement_fractions: Dict[Tuple[str, str, str], float] = {}
         self._policy: MovementPolicy = MovementPolicy.RANDOM
@@ -243,6 +246,7 @@ class Controller:
                 lp_wall_seconds=report.lp_solve_seconds,
             )
         self._fractions = dict(decision.reduce_fractions)
+        self._task_basis = list(decision.task_basis)
         self._movement_fractions = {}
         for (dataset_id, src, dst), moved in report.movement.moved_bytes.items():
             held = pre_move_bytes.get(dataset_id, {}).get(src, 0.0)
@@ -329,7 +333,19 @@ class Controller:
                 report.reduce_fractions = dict(self._fractions)
             else:
                 problem = self._placement_problem(workload, report, sites=alive)
-                decision = self._plan(problem, workload)
+                # Seed the LP from the incumbent basis restricted to the
+                # survivors: "t" always carries over, and each surviving
+                # site's r-variable keeps its name in the smaller program.
+                alive_names = {f"r[{site}]" for site in alive}
+                warm_basis = [
+                    name
+                    for name in self._task_basis
+                    if name == "t" or name in alive_names
+                ]
+                decision = self._plan(
+                    problem, workload, warm_task_basis=warm_basis or None
+                )
+                self._task_basis = list(decision.task_basis)
                 if obs.sanitizer.enabled:
                     obs.sanitizer.check_placement(
                         problem, decision.reduce_fractions, decision.moves
@@ -775,11 +791,16 @@ class Controller:
         )
 
     def _plan(
-        self, problem: PlacementProblem, workload: Workload
+        self,
+        problem: PlacementProblem,
+        workload: Workload,
+        warm_task_basis: Optional[List[str]] = None,
     ) -> PlacementDecision:
         strategy = self.profile.placement_strategy
         if strategy == "joint":
-            return JointPlanner(backend=self.config.lp_backend).plan(problem)
+            return JointPlanner(backend=self.config.lp_backend).plan(
+                problem, warm_task_basis=warm_task_basis
+            )
         if strategy == "heuristic":
             query_counts = {
                 dataset.dataset_id: len(workload.queries_for(dataset.dataset_id))

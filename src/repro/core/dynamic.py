@@ -50,6 +50,7 @@ def run_dynamic(
     replan_every: int = 5,
     query_cycle: Optional[List[RecurringQuery]] = None,
     cycle_seconds: Optional[float] = None,
+    cache=None,
 ) -> DynamicRunResult:
     """Drive a controller through the dynamic-dataset protocol.
 
@@ -57,6 +58,12 @@ def run_dynamic(
     ``feeds`` provides the batch schedule per dataset id.  One batch per
     dataset arrives between consecutive queries until each feed drains —
     but not after the final query, whose results nothing would consume.
+
+    ``cache`` is any object with ``invalidate_dataset(dataset_id, now)``
+    (duck-typed to avoid a core→serve dependency — in practice a
+    :class:`repro.serve.cache.CubeCache`): every applied batch drops that
+    dataset's cached cubes, stamped at the cycle-boundary sim time, so
+    results computed before the batch are never served after it.
 
     When the controller carries a chaos schedule, each query/batch cycle
     advances a simulated wall-clock by ``cycle_seconds`` (the lag window
@@ -112,6 +119,10 @@ def run_dynamic(
                 for site in after
                 if after.get(site, 0) > before.get(site, 0)
             }
+            if cache is not None:
+                # The batch landed; every cached cube of this dataset is
+                # stale from this cycle boundary on.
+                cache.invalidate_dataset(dataset_id, (index + 1) * cycle)
             if telemetry.enabled:
                 telemetry.emit(
                     "batch-applied",

@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.engine.assignment import assign_partitions
 from repro.engine.combiner import CombinedOutput, combine
 from repro.engine.rdd import make_partitions, round_robin
@@ -35,6 +37,10 @@ from repro.wan.transfer import Transfer, TransferResult, TransferScheduler
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.chaos.schedule import FaultSchedule
+
+#: Below this many routed keys per source site the per-key dict fold is
+#: faster than building code/size arrays; both folds are bit-identical.
+_BATCH_MIN_KEYS = 16
 
 
 @dataclass
@@ -616,13 +622,40 @@ class MapReduceEngine:
         metrics: Dict[str, SiteMetrics],
         tag: str = "job-0",
     ) -> List[Transfer]:
-        """Route combined records to reduce sites; build WAN transfers."""
+        """Route combined records to reduce sites; build WAN transfers.
+
+        Routing is batched: each source site's keys go through
+        :meth:`ReduceTaskMap.routing_table` (one hash pass per distinct
+        key, memoized across calls), and per-destination byte totals are
+        masked-``np.cumsum`` folds — a strict left fold over the records
+        in encounter order, so every float matches the per-record
+        ``volume[(src, dst)] += record.size_bytes`` accumulation exactly.
+        """
         volume: Dict[tuple, float] = {}
         for src, outputs in site_outputs.items():
+            keys: List = []
+            sizes: List[float] = []
             for output in outputs:
                 for key, record in output.records.items():
-                    dst = task_map.site_of_key(key)
-                    volume[(src, dst)] = volume.get((src, dst), 0.0) + record.size_bytes
+                    keys.append(key)
+                    sizes.append(record.size_bytes)
+            if not keys:
+                continue
+            table = task_map.routing_table(keys)
+            if len(keys) < _BATCH_MIN_KEYS:
+                for key, size in zip(keys, sizes):
+                    dst = table[key]
+                    volume[(src, dst)] = volume.get((src, dst), 0.0) + size
+                continue
+            dst_codes: Dict[str, int] = {}
+            codes = np.empty(len(keys), dtype=np.intp)
+            for position, key in enumerate(keys):
+                code = dst_codes.setdefault(table[key], len(dst_codes))
+                codes[position] = code
+            size_array = np.asarray(sizes, dtype=np.float64)
+            for dst, code in dst_codes.items():
+                selected = size_array[codes == code]
+                volume[(src, dst)] = float(np.cumsum(selected)[-1])
         obs = instrument.current()
         registry = obs.metrics
         telemetry = obs.telemetry

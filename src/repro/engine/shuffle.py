@@ -5,13 +5,23 @@ Reduce tasks are dealt to sites according to the task-placement fractions
 one destination site.  The all-to-all shuffle of §5 falls out: site i
 uploads the share of its combined output whose tasks live elsewhere and
 downloads its own share from every other site.
+
+Routing is batched: :meth:`ReduceTaskMap.routing_table` hashes each
+distinct key once (process-wide cached blake2b digests, one vectorized
+modulo) and memoizes the key→site answer on the instance, so the
+per-key :func:`key_to_task` / :meth:`ReduceTaskMap.site_of_key` calls in
+shuffle planning collapse to dict lookups.  ``task_sites`` is immutable
+by convention — the memo and the per-site count cache assume it.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Iterable, List, Mapping, Optional
+
+import numpy as np
 
 from repro.errors import EngineError
 from repro.obs import instrument
@@ -19,19 +29,57 @@ from repro.similarity.probes import largest_remainder_allocation
 from repro.types import Key
 
 
+@lru_cache(maxsize=1 << 18)
+def _key_digest(text: str) -> int:
+    """64-bit blake2b digest of a key's repr, cached process-wide.
+
+    The digest is a pure function of the repr, so one cache serves every
+    task map and every query — repeated routing of the same keys (the
+    common case across replans and query batches) costs a dict lookup.
+    """
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
 def key_to_task(key: Key, num_tasks: int) -> int:
     """Stable hash of a key onto a reduce task id."""
     if num_tasks < 1:
         raise EngineError("num_tasks must be >= 1")
-    digest = hashlib.blake2b(repr(key).encode(), digest_size=8).digest()
-    return int.from_bytes(digest, "little") % num_tasks
+    return _key_digest(repr(key)) % num_tasks
+
+
+def keys_to_tasks(keys: List[Key], num_tasks: int) -> np.ndarray:
+    """Batched :func:`key_to_task`: one hash pass, one vectorized modulo.
+
+    Returns an ``intp`` array of task ids aligned with ``keys``; each
+    entry equals ``key_to_task(key, num_tasks)`` exactly (cached blake2b
+    8-byte little-endian digests gathered into one uint64 vector).
+    """
+    if num_tasks < 1:
+        raise EngineError("num_tasks must be >= 1")
+    if not keys:
+        return np.empty(0, dtype=np.intp)
+    digests = np.fromiter(
+        map(_key_digest, map(repr, keys)), dtype=np.uint64, count=len(keys)
+    )
+    return (digests % np.uint64(num_tasks)).astype(np.intp)
 
 
 @dataclass
 class ReduceTaskMap:
-    """Assignment of reduce tasks to sites."""
+    """Assignment of reduce tasks to sites.
+
+    ``task_sites`` is treated as immutable after construction; the
+    per-site count cache and the key→site memo rely on that.
+    """
 
     task_sites: List[str]
+    _site_counts: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _site_memo: Dict[Key, str] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
     def from_fractions(
@@ -87,13 +135,54 @@ class ReduceTaskMap:
         return self.task_sites[task]
 
     def site_of_key(self, key: Key) -> str:
-        return self.site_of(key_to_task(key, self.num_tasks))
+        site = self._site_memo.get(key)
+        if site is None:
+            site = self.site_of(key_to_task(key, self.num_tasks))
+            self._site_memo[key] = site
+        return site
+
+    def routing_table(self, keys: Iterable[Key]) -> Dict[Key, str]:
+        """Batched key→site routing for every distinct key in ``keys``.
+
+        Keys already memoized are answered from the memo; the rest go
+        through one batched hash pass (:func:`keys_to_tasks`).  The
+        returned dict maps each distinct input key to its destination
+        site, identical to per-key :meth:`site_of_key` answers.
+        """
+        memo = self._site_memo
+        table: Dict[Key, str] = {}
+        if memo:
+            fresh: List[Key] = []
+            seen_fresh = set()
+            for key in keys:
+                site = memo.get(key)
+                if site is not None:
+                    table[key] = site
+                elif key not in seen_fresh:
+                    seen_fresh.add(key)
+                    fresh.append(key)
+        else:
+            # Fresh map: nothing can be memoized, dedupe in one C pass.
+            fresh = list(dict.fromkeys(keys))
+        if fresh:
+            tasks = keys_to_tasks(fresh, self.num_tasks)
+            routed = dict(
+                zip(fresh, map(self.task_sites.__getitem__, tasks.tolist()))
+            )
+            memo.update(routed)
+            table.update(routed)
+        return table
 
     def tasks_per_site(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for site in self.task_sites:
-            counts[site] = counts.get(site, 0) + 1
-        return counts
+        if self._site_counts is None:
+            counts: Dict[str, int] = {}
+            for site in self.task_sites:
+                counts[site] = counts.get(site, 0) + 1
+            self._site_counts = counts
+        return dict(self._site_counts)
 
     def fraction_at(self, site: str) -> float:
-        return self.tasks_per_site().get(site, 0) / self.num_tasks
+        if self._site_counts is None:
+            self.tasks_per_site()
+        assert self._site_counts is not None
+        return self._site_counts.get(site, 0) / self.num_tasks

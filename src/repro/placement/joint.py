@@ -9,7 +9,7 @@ rounds suffice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List, Optional
 
 from repro.placement.lp import (
     Moves,
@@ -31,6 +31,10 @@ class PlacementDecision:
     iterations: int = 1
     planner: str = ""
     details: Dict[str, float] = field(default_factory=dict)
+    #: Basis (or support) of the task LP that produced these fractions;
+    #: a degraded replan restricts this to surviving sites and seeds the
+    #: simplex backend's warm start from it.
+    task_basis: List[str] = field(default_factory=list)
 
     @property
     def total_moved_bytes(self) -> float:
@@ -55,7 +59,11 @@ class JointPlanner:
         # joint result dominate the heuristic by construction.
         self.heuristic_warm_start = heuristic_warm_start
 
-    def plan(self, problem: PlacementProblem) -> PlacementDecision:
+    def plan(
+        self,
+        problem: PlacementProblem,
+        warm_task_basis: "Optional[List[str]]" = None,
+    ) -> PlacementDecision:
         """Multi-start alternating optimization.
 
         Alternation can stall at a fixed point of the bilinear objective
@@ -64,14 +72,20 @@ class JointPlanner:
         alternate from several task-placement starts — the in-place
         optimum, uniform, and one-hot at the best-connected sites — and
         keep the best (moves, fractions) pair found.
+
+        ``warm_task_basis`` seeds the first task LP's simplex basis from
+        an incumbent decision (degraded replans pass the surviving-site
+        restriction of the previous plan's basis) — a solver-level hint
+        that never changes which starts are explored.
         """
         # Baseline candidate: no movement, optimal in-place task placement.
         in_place = shuffle_bytes_after_moves(problem, {})
         seed_fractions, best_t, seed_solution = solve_task_lp(
-            in_place, problem, backend=self.backend
+            in_place, problem, backend=self.backend, warm_names=warm_task_basis
         )
         best_moves: Moves = {}
         best_fractions = dict(seed_fractions)
+        best_basis = list(seed_solution.basis_names)
         solve_seconds = seed_solution.solve_seconds
         total_rounds = 0
 
@@ -92,6 +106,7 @@ class JointPlanner:
                 best_t = t_h
                 best_moves = heuristic.moves
                 best_fractions = dict(fractions_h)
+                best_basis = list(solution_h.basis_names)
             starts.append(dict(fractions_h))
 
         for start in starts:
@@ -112,6 +127,7 @@ class JointPlanner:
                     best_t = t
                     best_moves = moves
                     best_fractions = dict(fractions)
+                    best_basis = list(task_solution.basis_names)
                 if t >= previous_t - self.tolerance:
                     break
                 previous_t = t
@@ -122,6 +138,7 @@ class JointPlanner:
             solve_seconds=solve_seconds,
             iterations=total_rounds,
             planner="joint-lp",
+            task_basis=best_basis,
         )
 
     @staticmethod

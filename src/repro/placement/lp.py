@@ -16,7 +16,7 @@ fixed point.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -160,10 +160,14 @@ def solve_task_lp(
     shuffle_bytes: Mapping[str, float],
     problem: PlacementProblem,
     backend: str = "auto",
+    warm_names: "Optional[List[str]]" = None,
 ) -> Tuple[Dict[str, float], float, LpSolution]:
     """Optimal reduce fractions given fixed per-site shuffle volumes F_i.
 
-    Returns ``(reduce_fractions, t, solution)``.
+    Returns ``(reduce_fractions, t, solution)``.  ``warm_names`` seeds
+    the simplex backend's starting basis — pass an incumbent solution's
+    ``basis_names`` (e.g. restricted to surviving sites on a degraded
+    replan); names absent from this program's variables are ignored.
     """
     sites = problem.site_names
     missing = set(shuffle_bytes) - set(sites)
@@ -214,7 +218,7 @@ def solve_task_lp(
         b_eq=np.asarray([1.0]),
         variable_names=var_names,
     )
-    solution = solve_lp(program, backend=backend)
+    solution = solve_lp(program, backend=backend, warm_names=warm_names)
     fractions = {
         site: max(0.0, float(solution.x[1 + position]))
         for position, site in enumerate(sites)

@@ -46,6 +46,12 @@ class LpSolution:
     objective: float
     solve_seconds: float
     backend: str
+    #: Structural variables usable as a warm-start hint for a related
+    #: solve: the final simplex basis (simplex backend) or the solution
+    #: support (scipy, which exposes no basis through ``linprog``).
+    basis_names: List[str] = field(default_factory=list)
+    #: True when the simplex backend started from a feasible warm basis.
+    warm_started: bool = False
 
     def value_of(self, program: LinearProgram, name: str) -> float:
         try:
@@ -55,12 +61,20 @@ class LpSolution:
         return float(self.x[index])
 
 
-def solve_lp(program: LinearProgram, backend: str = "auto") -> LpSolution:
+def solve_lp(
+    program: LinearProgram,
+    backend: str = "auto",
+    warm_names: Optional[List[str]] = None,
+) -> LpSolution:
     """Solve the LP; ``backend`` is ``"auto"``, ``"scipy"`` or ``"simplex"``.
 
     ``auto`` prefers scipy and silently falls back to the built-in simplex
     if scipy is unavailable.  Raises :class:`SolverError` on infeasible or
-    unbounded problems.
+    unbounded problems.  ``warm_names`` hints variables (by name) whose
+    columns should seed the simplex backend's starting basis — e.g. the
+    ``basis_names`` of an incumbent solution to a related program; names
+    the program does not define are ignored, and the scipy backend has no
+    warm-start surface so the hint is a no-op there.
     """
     if backend not in ("auto", "scipy", "simplex"):
         raise SolverError(f"unknown backend {backend!r}")
@@ -68,7 +82,7 @@ def solve_lp(program: LinearProgram, backend: str = "auto") -> LpSolution:
     with obs.tracer.span(
         "lp-solve", stage="placement", variables=program.num_variables
     ) as span:
-        solution = _solve(program, backend)
+        solution = _solve(program, backend, warm_names)
     if span is not None:
         span.attrs["backend"] = solution.backend
         span.attrs["objective"] = solution.objective
@@ -76,12 +90,19 @@ def solve_lp(program: LinearProgram, backend: str = "auto") -> LpSolution:
         obs.metrics.counter("lp_solves", backend=solution.backend).inc()
         obs.metrics.histogram("lp_solve_seconds").observe(solution.solve_seconds)
         obs.metrics.gauge("lp_variables").set(program.num_variables)
+        if solution.warm_started:
+            obs.metrics.counter("lp_warm_starts").inc()
     return solution
 
 
-def _solve(program: LinearProgram, backend: str) -> LpSolution:
+def _solve(
+    program: LinearProgram,
+    backend: str,
+    warm_names: Optional[List[str]] = None,
+) -> LpSolution:
     # Wall-clock on purpose: LP solve cost reported by Table 5.
     started = time.perf_counter()  # lint: allow[R001]
+    names = program.variable_names
     if backend in ("auto", "scipy"):
         try:
             from scipy.optimize import linprog
@@ -101,20 +122,48 @@ def _solve(program: LinearProgram, backend: str) -> LpSolution:
             )
             if not result.success:
                 raise SolverError(f"scipy linprog failed: {result.message}")
+            x = np.asarray(result.x, dtype=float)
             return LpSolution(
-                x=np.asarray(result.x, dtype=float),
+                x=x,
                 objective=float(result.fun),
                 solve_seconds=time.perf_counter() - started,  # lint: allow[R001]
                 backend="scipy",
+                basis_names=(
+                    [name for name, value in zip(names, x) if value > 1e-12]
+                    if names
+                    else []
+                ),
             )
+    warm_columns = None
+    if warm_names and names:
+        index_of = {name: position for position, name in enumerate(names)}
+        warm_columns = [
+            index_of[name] for name in warm_names if name in index_of
+        ]
     result = simplex_solve(
-        program.c, program.a_ub, program.b_ub, program.a_eq, program.b_eq
+        program.c,
+        program.a_ub,
+        program.b_ub,
+        program.a_eq,
+        program.b_eq,
+        warm_columns=warm_columns,
     )
     if not result.ok:
         raise SolverError(f"simplex failed: {result.status}")
+    num_vars = program.num_variables
     return LpSolution(
         x=result.x,
         objective=result.objective,
         solve_seconds=time.perf_counter() - started,  # lint: allow[R001]
         backend="simplex",
+        basis_names=(
+            [
+                names[column]
+                for column in result.basis_columns
+                if column < num_vars
+            ]
+            if names
+            else []
+        ),
+        warm_started=result.warm_started,
     )

@@ -1,6 +1,6 @@
 """The serve event loop: admission, shared-clock execution, completion.
 
-Three event sources drive one simulation clock:
+Four event sources drive one simulation clock:
 
 1. **arrivals** from the open-loop load generator,
 2. **flow completions** from the shared :class:`~repro.wan.transfer.
@@ -8,7 +8,16 @@ Three event sources drive one simulation clock:
    same max-min-fair capacity epochs),
 3. **query finishes** (a job's reduce stage ends ``reduce_seconds``
    after its last inbound byte — a known absolute time the moment the
-   last flow drains).
+   last flow drains),
+4. **data batches** (optional): at each scheduled batch time, every
+   attached :class:`~repro.workloads.dynamic.DynamicDataFeed` applies its
+   next batch to the served catalog and the cube cache drops that
+   dataset's entries (``invalidate_dataset``) — a query arriving after
+   the batch misses the cache instead of serving a stale cube.
+
+Ties process finishes first, then batches, then arrivals, so a query
+arriving exactly at a batch time sees the post-batch (invalidated)
+cache.
 
 At each event the scheduler sheds or queues new arrivals (consulting the
 cube cache first), releases finished queries, and admits queued work
@@ -30,7 +39,10 @@ import heapq
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.dynamic import DynamicDataFeed
 
 from repro.core.controller import Controller
 from repro.engine.job import JobResult, PlannedJob
@@ -300,12 +312,29 @@ class ServeScheduler:
         workload: Workload,
         config: ServeConfig = ServeConfig(),
         tenants: Optional[Sequence[Tenant]] = None,
+        feeds: Optional[Dict[str, "DynamicDataFeed"]] = None,
+        batch_times: Optional[Sequence[float]] = None,
     ) -> None:
+        """``feeds`` maps dataset ids to dynamic data feeds; at each time
+        in ``batch_times`` (sorted, sim seconds) every non-exhausted feed
+        applies one batch and the cube cache invalidates that dataset.
+        ``batch_times`` without ``feeds`` (or vice versa) is an error."""
         if not workload.queries:
             raise ServeError(f"workload {workload.name!r} has no queries")
+        if bool(feeds) != bool(batch_times):
+            raise ServeError("feeds and batch_times must be given together")
         self.controller = controller
         self.workload = workload
         self.config = config
+        self._feeds = dict(feeds) if feeds else {}
+        self._batch_times = sorted(batch_times) if batch_times else []
+        self._batch_cursor = 0
+        self.batches_applied = 0
+        unknown = set(self._feeds) - set(workload.dataset_ids)
+        if unknown:
+            raise ServeError(
+                f"feeds reference unknown datasets {sorted(unknown)}"
+            )
         self.tenants = TenantScheduler(
             list(tenants) if tenants is not None else config.tenant_list(),
             max_inflight=config.max_inflight,
@@ -354,7 +383,12 @@ class ServeScheduler:
                 arrivals[cursor].time if cursor < len(arrivals) else math.inf
             )
             next_finish = finish_heap[0][0] if finish_heap else math.inf
-            limit = min(next_arrival, next_finish)
+            next_batch = (
+                self._batch_times[self._batch_cursor]
+                if self._batch_cursor < len(self._batch_times)
+                else math.inf
+            )
+            limit = min(next_arrival, next_finish, next_batch)
             if not session.drained:
                 done = session.advance(limit=limit, stop_on_completion=True)
                 if done:
@@ -368,8 +402,12 @@ class ServeScheduler:
                     "in-flight work and no arrivals left"
                 )
             clock = max(clock, limit)
-            if next_finish <= next_arrival:
+            # Tie order: finishes, then batches, then arrivals — a query
+            # arriving at the batch instant sees the invalidated cache.
+            if next_finish <= limit:
                 self._drain_finishes(clock, finish_heap, running, records)
+            elif next_batch <= limit:
+                self._apply_batches(clock)
             else:
                 while (
                     cursor < len(arrivals)
@@ -559,6 +597,31 @@ class ServeScheduler:
                     dataset=record.dataset_id,
                     qct=record.qct,
                     cached=False,
+                )
+
+    def _apply_batches(self, clock: float) -> None:
+        """Land one scheduled data batch per feed; invalidate its cubes.
+
+        Every cached slice of a grown dataset is stale the moment the
+        batch lands, so the cache drops them — the next arrival for that
+        dataset misses and recomputes against the grown shards.
+        """
+        telemetry = instrument.current().telemetry
+        self._batch_cursor += 1
+        for dataset_id, feed in self._feeds.items():
+            if feed.exhausted:
+                continue
+            dataset = self.workload.catalog.get(dataset_id)
+            feed.apply_next_batch(dataset)
+            self.batches_applied += 1
+            invalidated = self.cache.invalidate_dataset(dataset_id, clock)
+            if telemetry.enabled:
+                telemetry.emit(
+                    "serve-batch",
+                    t=clock,
+                    dataset=dataset_id,
+                    batch=feed.applied_batches,
+                    invalidated=invalidated,
                 )
 
     # ------------------------------------------------------------------

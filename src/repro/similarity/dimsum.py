@@ -15,13 +15,22 @@ parameter γ.  The paper modifies it from cosine to Jaccard:
 
 Large γ ⇒ inspect (almost) every pair ⇒ accurate but slow; small γ ⇒ skip
 most pairs ⇒ fast but approximate.
+
+The hot path (:func:`dimsum_similarity_matrix`) is vectorized under an
+RNG consumption-order contract: the scalar reference draws one uniform
+per pair in upper-triangle ``(i, j)`` order, and the columnar path draws
+the whole vector at once with ``rng.random(num_pairs)`` over
+``np.triu_indices`` — the identical stream in the identical order, so
+the same seed skips the same pairs bit-for-bit.  Empty partitions share
+no keys with anything, including each other: any pair with an empty side
+reports 0.0 similarity in both paths.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Sequence, Set, Tuple
 
 import numpy as np
 
@@ -64,16 +73,15 @@ class DimsumStats:
         return self.pairs_skipped / self.pairs_total
 
 
-def dimsum_similarity_matrix(
+def dimsum_similarity_matrix_scalar(
     partitions: Sequence[Set],
     config: DimsumConfig = DimsumConfig(),
 ) -> Tuple[np.ndarray, DimsumStats]:
-    """All-pairs Jaccard similarity matrix over record-key sets.
+    """Per-pair reference implementation of :func:`dimsum_similarity_matrix`.
 
-    Returns an ``(n, n)`` symmetric matrix with unit diagonal and the
-    work-accounting stats.  Skipped pairs get similarity 0.0 — by
-    construction they are pairs the sampling rule deemed very unlikely to
-    be similar.
+    Retained for the scalar/columnar parity suite; draws one uniform per
+    pair in upper-triangle order — the consumption-order contract the
+    vectorized path reproduces.
     """
     n = len(partitions)
     matrix = np.eye(n, dtype=float)
@@ -82,7 +90,7 @@ def dimsum_similarity_matrix(
         return matrix, stats
 
     hasher = MinHasher(num_hashes=config.num_hashes, seed=config.seed)
-    signatures = hasher.signatures(partitions)
+    signatures = hasher.signatures_scalar(partitions)
     sizes = [max(len(partition), 1) for partition in partitions]
     rng = derive_rng(config.seed, "dimsum-sampling")
 
@@ -95,6 +103,10 @@ def dimsum_similarity_matrix(
                 stats.pairs_skipped += 1
                 continue
             stats.pairs_examined += 1
+            if not partitions[i] or not partitions[j]:
+                # Empty partitions share no keys with anything — including
+                # each other (set-based jaccard would report ∅ vs ∅ as 1.0).
+                continue
             small = min(len(partitions[i]), len(partitions[j]))
             if small < config.exact_below:
                 similarity = jaccard(partitions[i], partitions[j])
@@ -102,6 +114,79 @@ def dimsum_similarity_matrix(
                 # Map/reduce estimate: fraction of colliding hash slots.
                 similarity = signatures[i].estimate_jaccard(signatures[j])
             matrix[i, j] = matrix[j, i] = similarity
+    return matrix, stats
+
+
+def dimsum_similarity_matrix(
+    partitions: Sequence[Set],
+    config: DimsumConfig = DimsumConfig(),
+) -> Tuple[np.ndarray, DimsumStats]:
+    """All-pairs Jaccard similarity matrix over record-key sets.
+
+    Returns an ``(n, n)`` symmetric matrix with unit diagonal and the
+    work-accounting stats.  Skipped pairs get similarity 0.0 — by
+    construction they are pairs the sampling rule deemed very unlikely to
+    be similar.  Pairs with an empty side also report 0.0.
+
+    This is the columnar path: batched signatures, the full sampling-
+    probability vector over ``np.triu_indices``, one ``rng.random(k)``
+    draw matching the scalar per-pair stream, and matrix-slot comparison
+    for every estimated pair at once.  Bit-identical to
+    :func:`dimsum_similarity_matrix_scalar`.
+    """
+    n = len(partitions)
+    matrix = np.eye(n, dtype=float)
+    stats = DimsumStats()
+    if n < 2:
+        return matrix, stats
+
+    hasher = MinHasher(num_hashes=config.num_hashes, seed=config.seed)
+    signatures = hasher.signatures(partitions)
+    rng = derive_rng(config.seed, "dimsum-sampling")
+
+    lengths = np.fromiter(
+        (len(partition) for partition in partitions), dtype=np.int64, count=n
+    )
+    sizes = np.maximum(lengths, 1).astype(np.float64)
+    rows, cols = np.triu_indices(n, k=1)
+    num_pairs = rows.size
+    # min(1, γ/√(ni·nj)) per pair; int sizes convert to float64 exactly
+    # and np.sqrt is correctly rounded like math.sqrt, so each entry
+    # equals the scalar per-pair probability bit-for-bit.
+    probability = np.minimum(
+        1.0, config.gamma / np.sqrt(sizes[rows] * sizes[cols])
+    )
+    # RNG consumption-order contract: one vector draw is the same stream
+    # as num_pairs successive rng.random() calls in triu (i, j) order.
+    draws = rng.random(num_pairs)
+    examined = ~(draws > probability)
+
+    stats.pairs_total = num_pairs
+    stats.pairs_examined = int(np.count_nonzero(examined))
+    stats.pairs_skipped = num_pairs - stats.pairs_examined
+
+    nonempty = (lengths[rows] > 0) & (lengths[cols] > 0)
+    small = np.minimum(lengths[rows], lengths[cols])
+    exact_mask = examined & nonempty & (small < config.exact_below)
+    estimate_mask = examined & nonempty & ~(small < config.exact_below)
+
+    # Exact path: set-based Jaccard stays a per-pair Python computation
+    # (set intersections do not vectorize); only sampled small pairs pay.
+    for i, j in zip(rows[exact_mask].tolist(), cols[exact_mask].tolist()):
+        matrix[i, j] = matrix[j, i] = jaccard(partitions[i], partitions[j])
+
+    if np.any(estimate_mask):
+        slots = np.array(
+            [signature.values for signature in signatures], dtype=np.int64
+        )
+        est_rows = rows[estimate_mask]
+        est_cols = cols[estimate_mask]
+        matches = np.count_nonzero(
+            slots[est_rows] == slots[est_cols], axis=1
+        )
+        estimates = matches / config.num_hashes
+        matrix[est_rows, est_cols] = estimates
+        matrix[est_cols, est_rows] = estimates
     return matrix, stats
 
 

@@ -1,0 +1,240 @@
+"""Scalar/columnar parity: the batched engine hot paths are bit-identical.
+
+The columnar rewrites (hash-bucketed combine, batched key routing,
+vectorized shuffle-volume fold) keep the original per-record loops as
+reference implementations.  Every randomized workload here — varied
+seeds, key skews, empty partitions — must produce *byte-identical*
+results through both paths: same dict insertion order, same float bits,
+same task routing, same planned transfers.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.engine import combiner as combiner_mod
+from repro.engine import job as job_mod
+from repro.engine import shuffle as shuffle_mod
+from repro.engine.combiner import combine, combine_scalar
+from repro.engine.job import MapReduceEngine
+from repro.engine.shuffle import ReduceTaskMap, key_to_task, keys_to_tasks
+from repro.engine.spec import MapReduceSpec
+from repro.types import GeoDataset, Record, Schema
+from repro.wan.presets import uniform_sites
+
+SCHEMA = Schema.of("url", "score", kinds={"score": "numeric"})
+
+# Key pools of different skew: tiny (heavy collisions), zipf-ish, and
+# wide (mostly distinct keys).
+_POOLS = {
+    "tiny": [f"k{i}" for i in range(3)],
+    "skewed": [f"k{i}" for i in range(12) for _ in range(12 - i)],
+    "wide": [f"k{i}" for i in range(500)],
+}
+
+
+def random_records(rng, pool, count):
+    return [
+        Record(
+            (rng.choice(pool), rng.randint(0, 9)),
+            size_bytes=rng.choice([1, 17, 1000, 99_999]) * rng.random(),
+        )
+        for _ in range(count)
+    ]
+
+
+def assert_outputs_identical(scalar, columnar):
+    """Byte-identical CombinedOutput: order, counts, and float bits."""
+    assert list(columnar.records) == list(scalar.records)
+    assert columnar.map_output_records == scalar.map_output_records
+    # Bit-identity, not approx: cumsum must equal the scalar left fold.
+    assert (
+        columnar.map_output_bytes == scalar.map_output_bytes  # lint: allow[R004]
+    )
+    for key, reference in scalar.records.items():
+        got = columnar.records[key]
+        assert got.key == reference.key
+        assert got.merged_count == reference.merged_count
+        assert type(got.merged_count) is int
+        assert got.size_bytes == reference.size_bytes  # lint: allow[R004]
+        assert type(got.size_bytes) is float
+
+
+class TestCombineParity:
+    def test_randomized_workloads(self):
+        for seed in range(40):
+            rng = random.Random(seed)
+            pool = _POOLS[rng.choice(list(_POOLS))]
+            count = rng.choice([0, 1, 15, 16, 17, 64, 400])
+            records = random_records(rng, pool, count)
+            ratio = rng.choice([0.1, 0.5, 1.0])
+            scalar = combine_scalar(records, [0], ratio)
+            columnar = combine(records, [0], ratio)
+            assert_outputs_identical(scalar, columnar)
+
+    def test_compound_keys(self):
+        rng = random.Random(99)
+        records = random_records(rng, _POOLS["skewed"], 120)
+        scalar = combine_scalar(records, [0, 1], 0.4)
+        columnar = combine(records, [0, 1], 0.4)
+        assert_outputs_identical(scalar, columnar)
+
+    def test_empty_partition(self):
+        assert_outputs_identical(
+            combine_scalar([], [0], 0.5), combine([], [0], 0.5)
+        )
+
+    def test_all_keys_distinct_fast_path(self):
+        records = [
+            Record((f"k{i}", i), size_bytes=100.0 + i) for i in range(64)
+        ]
+        assert_outputs_identical(
+            combine_scalar(records, [0], 0.25), combine(records, [0], 0.25)
+        )
+
+    def test_columnar_threshold_boundary(self, monkeypatch):
+        # Exactly at the threshold the columnar path engages; just below
+        # it falls back to the scalar loop.  Both must agree regardless.
+        rng = random.Random(5)
+        threshold = combiner_mod._COLUMNAR_MIN_RECORDS
+        for count in (threshold - 1, threshold, threshold + 1):
+            records = random_records(rng, _POOLS["tiny"], count)
+            assert_outputs_identical(
+                combine_scalar(records, [0], 0.5), combine(records, [0], 0.5)
+            )
+
+    def test_invalid_ratio_rejected_by_both(self):
+        for ratio in (0.0, 1.5):
+            with pytest.raises(Exception):
+                combine([], [0], ratio)
+            with pytest.raises(Exception):
+                combine_scalar([], [0], ratio)
+
+
+class TestRoutingParity:
+    def test_keys_to_tasks_matches_scalar_hash(self):
+        rng = random.Random(7)
+        keys = [
+            rng.choice(
+                [("url", rng.randint(0, 50)), (f"k{rng.randint(0, 200)}",)]
+            )
+            for _ in range(300)
+        ]
+        for num_tasks in (1, 3, 17, 128):
+            batched = keys_to_tasks(keys, num_tasks)
+            assert batched.tolist() == [
+                key_to_task(key, num_tasks) for key in keys
+            ]
+
+    def test_empty_batch(self):
+        assert keys_to_tasks([], 8).size == 0
+
+    def test_routing_table_matches_site_of_key(self):
+        fractions = {"a": 0.5, "b": 0.3, "c": 0.2}
+        fresh = ReduceTaskMap.from_fractions(fractions, 40)
+        batched = ReduceTaskMap.from_fractions(fractions, 40)
+        keys = [(f"k{i}",) for i in range(200)]
+        table = batched.routing_table(keys)
+        assert set(table) == set(keys)
+        for key in keys:
+            assert table[key] == fresh.site_of_key(key)
+
+
+class TestReduceTaskMapCaching:
+    """Behavior pins for the memoized lookups (satellite c)."""
+
+    def make(self):
+        return ReduceTaskMap.from_fractions({"a": 0.6, "b": 0.4}, 10)
+
+    def test_fraction_at_matches_counts(self):
+        task_map = self.make()
+        counted = {}
+        for site in task_map.task_sites:
+            counted[site] = counted.get(site, 0) + 1
+        for site in ("a", "b", "never-assigned"):
+            expected = counted.get(site, 0) / task_map.num_tasks
+            assert task_map.fraction_at(site) == pytest.approx(expected)
+            # Second lookup comes from the cache and agrees.
+            assert task_map.fraction_at(site) == pytest.approx(expected)
+
+    def test_tasks_per_site_returns_defensive_copy(self):
+        task_map = self.make()
+        first = task_map.tasks_per_site()
+        first["a"] = 999_999
+        assert task_map.tasks_per_site()["a"] != 999_999
+        assert task_map.fraction_at("a") == pytest.approx(0.6)
+
+    def test_site_of_key_memoized(self, monkeypatch):
+        task_map = self.make()
+        key = ("hot-key",)
+        expected = task_map.site_of_key(key)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be hit
+            raise AssertionError("memoized lookup re-hashed the key")
+
+        monkeypatch.setattr(shuffle_mod, "key_to_task", boom)
+        assert task_map.site_of_key(key) == expected
+
+    def test_routing_table_answers_memoized_keys_without_rehash(
+        self, monkeypatch
+    ):
+        task_map = self.make()
+        keys = [(f"k{i}",) for i in range(30)]
+        first = task_map.routing_table(keys)
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not be hit
+            raise AssertionError("warm routing_table re-hashed keys")
+
+        monkeypatch.setattr(shuffle_mod, "keys_to_tasks", boom)
+        monkeypatch.setattr(shuffle_mod, "key_to_task", boom)
+        assert task_map.routing_table(keys) == first
+        for key in keys:
+            assert task_map.site_of_key(key) == first[key]
+
+
+class TestShufflePlanParity:
+    """Full engine runs agree between batched and scalar volume folds."""
+
+    def topology(self):
+        return uniform_sites(
+            3, uplink="2MB/s", machines=1, executors_per_machine=2
+        )
+
+    def dataset(self, seed, records_per_site):
+        rng = random.Random(seed)
+        dataset = GeoDataset("logs", SCHEMA)
+        for index in range(3):
+            dataset.add_records(
+                f"site-{index}",
+                random_records(rng, _POOLS["skewed"], records_per_site),
+            )
+        return dataset
+
+    def run(self, dataset):
+        engine = MapReduceEngine(self.topology())
+        return engine.run(dataset, MapReduceSpec.of([0], 0.5))
+
+    @pytest.mark.parametrize("records_per_site", [0, 5, 60])
+    def test_job_results_bit_identical(self, monkeypatch, records_per_site):
+        batched = self.run(self.dataset(3, records_per_site))
+        # Force the per-key scalar fold in _plan_shuffle.
+        monkeypatch.setattr(job_mod, "_BATCH_MIN_KEYS", 10**9)
+        scalar = self.run(self.dataset(3, records_per_site))
+        assert batched.qct == scalar.qct  # lint: allow[R004]
+        assert (
+            batched.total_intermediate_bytes
+            == scalar.total_intermediate_bytes  # lint: allow[R004]
+        )
+        batched_flows = [
+            (t.transfer.src, t.transfer.dst, t.transfer.num_bytes)
+            for t in batched.transfers
+        ]
+        scalar_flows = [
+            (t.transfer.src, t.transfer.dst, t.transfer.num_bytes)
+            for t in scalar.transfers
+        ]
+        assert batched_flows == scalar_flows
+        if records_per_site >= 60:
+            # The parity run must actually exercise cross-site shuffle.
+            assert batched_flows

@@ -1,0 +1,180 @@
+"""Dynamic data batches invalidate the cube cache mid-serve.
+
+The bugfix under test: a data batch landing on a dataset makes every
+cached cube of that dataset stale, so ``CubeCache.invalidate_dataset``
+must run on batch arrival — both in the serve event loop (scheduled
+``batch_times``) and in the dynamic-dataset protocol (``run_dynamic``).
+A query arriving after the batch misses the cache and recomputes
+against the grown shards instead of serving the stale answer.
+"""
+
+import pytest
+
+from repro.core.dynamic import initial_workload_from_feeds, run_dynamic
+from repro.errors import ServeError
+from repro.serve.cache import CubeCache
+from repro.serve.scheduler import ServeConfig, ServeScheduler
+from repro.systems.base import SystemConfig
+from repro.systems.registry import make_system
+from repro.wan.presets import ec2_ten_sites
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.bigdata import bigdata_workload
+from repro.workloads.dynamic import DynamicDataFeed
+
+SPEC = WorkloadSpec(records_per_site=30, record_bytes=100_000, num_datasets=2)
+CONFIG = SystemConfig(lag_seconds=6.0, partition_records=8)
+# Arrivals ~1000s apart (far beyond any QCT here) so repeats of an
+# already-executed slice always find it materialized — unless a batch
+# invalidated it in between.
+SERVE = ServeConfig(
+    seed=11, num_tenants=2, num_queries=12,
+    arrival_rate=0.001, cache_capacity=32,
+)
+
+
+def topology():
+    return ec2_ten_sites(base_uplink="1MB/s", machines=1, executors_per_machine=2)
+
+
+def build(batch_times=None, num_batches=6):
+    """A prepared scheduler over the initial slice of a dynamic dataset."""
+    topo = topology()
+    template = bigdata_workload(topo, seed=13, spec=SPEC, flavour="aggregation")
+    fed_dataset = template.dataset_ids[0]
+    feeds = {
+        fed_dataset: DynamicDataFeed.split(
+            template.catalog.get(fed_dataset),
+            initial_fraction=0.5,
+            num_batches=num_batches,
+        )
+    }
+    workload = initial_workload_from_feeds(template, feeds)
+    controller = make_system("iridium", topo, CONFIG)
+    controller.prepare(workload)
+    if batch_times is None:
+        scheduler = ServeScheduler(controller, workload, SERVE)
+    else:
+        scheduler = ServeScheduler(
+            controller, workload, SERVE, feeds=feeds, batch_times=batch_times
+        )
+    return scheduler, fed_dataset
+
+
+class TestPostBatchCacheMiss:
+    def test_post_arrival_query_misses_the_cache(self):
+        # Baseline: no batches ever land, so some repeat of the fed
+        # dataset's slice is served straight from the cache.
+        baseline, fed_dataset = build()
+        before = baseline.run()
+        cached = [
+            q for q in before.queries
+            if q.status == "cached" and q.dataset_id == fed_dataset
+        ]
+        assert cached, "baseline must exercise a cache hit to invalidate"
+        target = cached[0]
+
+        # Same workload, but a batch lands just before that arrival:
+        # the cached cube is stale and the query must recompute.
+        scheduler, _ = build(batch_times=[target.arrival - 1.0])
+        after = scheduler.run()
+        assert scheduler.batches_applied >= 1
+        assert scheduler.cache.stats.invalidations > 0
+        replayed = next(q for q in after.queries if q.index == target.index)
+        assert replayed.status != "cached"
+        assert after.cache_hits < before.cache_hits
+
+    def test_batches_after_the_last_event_never_fire(self):
+        baseline, _ = build()
+        before = baseline.run()
+        scheduler, _ = build(batch_times=[before.makespan + 10_000.0])
+        after = scheduler.run()
+        assert scheduler.batches_applied == 0
+        assert after.sim_digest() == before.sim_digest()
+
+    def test_feeds_require_batch_times_and_vice_versa(self):
+        scheduler, fed_dataset = build()
+        controller = scheduler.controller
+        workload = scheduler.workload
+        feed = DynamicDataFeed.split(
+            workload.catalog.get(fed_dataset), num_batches=2
+        )
+        with pytest.raises(ServeError):
+            ServeScheduler(
+                controller, workload, SERVE, feeds={fed_dataset: feed}
+            )
+        with pytest.raises(ServeError):
+            ServeScheduler(
+                controller, workload, SERVE, batch_times=[5.0]
+            )
+        with pytest.raises(ServeError):
+            ServeScheduler(
+                controller, workload, SERVE,
+                feeds={"no-such-dataset": feed}, batch_times=[5.0],
+            )
+
+
+class TestRunDynamicInvalidation:
+    def test_applied_batches_invalidate_the_cache(self):
+        from repro.wan.presets import uniform_sites
+
+        topo = uniform_sites(3, uplink="1MB/s", machines=1,
+                             executors_per_machine=2)
+        template = bigdata_workload(
+            topo,
+            seed=6,
+            spec=WorkloadSpec(
+                records_per_site=24, record_bytes=20_000, num_datasets=1
+            ),
+            flavour="aggregation",
+        )
+        feeds = {
+            dataset.dataset_id: DynamicDataFeed.split(
+                dataset, initial_fraction=0.25, num_batches=4
+            )
+            for dataset in template.catalog
+        }
+        workload = initial_workload_from_feeds(template, feeds)
+        controller = make_system(
+            "bohr-sim", topo, SystemConfig(lag_seconds=600.0,
+                                           partition_records=8)
+        )
+        dataset_id = workload.dataset_ids[0]
+        cache = CubeCache(capacity=8)
+        stale_key = (dataset_id, ("region",), (), (("hits", "sum"),), "agg")
+        cache.insert(stale_key, now=0.0, service_seconds=1.0, wan_bytes=0.0)
+        assert cache.lookup(stale_key, now=0.0) is not None
+
+        result = run_dynamic(
+            controller, workload, feeds, num_queries=4, replan_every=2,
+            cache=cache,
+        )
+        assert result.batches_applied > 0
+        assert cache.stats.invalidations >= 1
+        assert cache.lookup(stale_key, now=1e9) is None
+
+    def test_cache_argument_is_optional(self):
+        from repro.wan.presets import uniform_sites
+
+        topo = uniform_sites(3, uplink="1MB/s", machines=1,
+                             executors_per_machine=2)
+        template = bigdata_workload(
+            topo,
+            seed=6,
+            spec=WorkloadSpec(
+                records_per_site=24, record_bytes=20_000, num_datasets=1
+            ),
+            flavour="aggregation",
+        )
+        feeds = {
+            dataset.dataset_id: DynamicDataFeed.split(
+                dataset, initial_fraction=0.25, num_batches=4
+            )
+            for dataset in template.catalog
+        }
+        workload = initial_workload_from_feeds(template, feeds)
+        controller = make_system(
+            "bohr-sim", topo, SystemConfig(lag_seconds=600.0,
+                                           partition_records=8)
+        )
+        result = run_dynamic(controller, workload, feeds, num_queries=3)
+        assert len(result.qcts) == 3
