@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint lint-static determinism sanitize chaos test parity bench-smoke serve-smoke profile telemetry check
+.PHONY: lint lint-static determinism sanitize chaos test parity bench-smoke serve-smoke slo profile telemetry check
 
 lint:  ## static analysis: per-file rules R001-R008 over the shipped tree
 	$(PYTHON) -m repro.lint src/repro benchmarks
@@ -35,19 +35,32 @@ parity:  ## scalar/columnar hot-path parity suite (bit-identity oracle)
 		tests/placement/test_warm_start.py
 
 bench-smoke:  ## smoke benchmarks vs the committed baseline (sim gate only)
-	$(PYTHON) -m repro bench --suite smoke --compare BENCH_3.json \
+	$(PYTHON) -m repro bench --suite smoke --compare BENCH_4.json \
 		--ignore-wall --out bench_smoke.json
 
-serve-smoke:  ## two same-seed serve runs must produce bit-identical sim digests
+serve-smoke:  ## two same-seed serve runs: bit-identical sim + analyzer digests
 	$(PYTHON) -m repro serve --tenants 3 --queries 12 --seed 11 \
-		--cache-size 4 --json serve_a.json --hist serve_hist.json
+		--cache-size 4 --json serve_a.json --hist serve_hist.json \
+		--slo default=5 --slo-report serve_slo_a.json
 	$(PYTHON) -m repro serve --tenants 3 --queries 12 --seed 11 \
-		--cache-size 4 --json serve_b.json
+		--cache-size 4 --json serve_b.json \
+		--slo default=5 --slo-report serve_slo_b.json
 	$(PYTHON) -c "import json; \
 		a = json.load(open('serve_a.json'))['sim_digest']; \
 		b = json.load(open('serve_b.json'))['sim_digest']; \
 		assert a == b, f'serve sim digests diverged: {a} != {b}'; \
-		print(f'serve digests identical: {a[:16]}')"
+		ra = json.load(open('serve_slo_a.json')); \
+		rb = json.load(open('serve_slo_b.json')); \
+		ca, cb = ra['critpath']['digest'], rb['critpath']['digest']; \
+		assert ca == cb, f'critpath digests diverged: {ca} != {cb}'; \
+		sa, sb = ra['slo']['digest'], rb['slo']['digest']; \
+		assert sa == sb, f'slo digests diverged: {sa} != {sb}'; \
+		print(f'serve digests identical: {a[:16]}'); \
+		print(f'critpath digest: {ca[:16]}  slo digest: {sa[:16]}')"
+
+slo:  ## sanitized serve run with SLO tracking (critpath conservation armed)
+	$(PYTHON) -m repro serve --tenants 3 --queries 12 --seed 11 \
+		--cache-size 4 --slo default=5 --sanitize
 
 profile:  ## smoke benchmarks under the wall profiler (collapsed stacks)
 	$(PYTHON) -m repro bench --suite smoke --profile \
@@ -58,4 +71,4 @@ telemetry:  ## chaos run with telemetry capture + HTML dashboard render
 		--queries 2 --chaos flaky-wan --telemetry telemetry.jsonl
 	$(PYTHON) -m repro report telemetry.jsonl --out report.html
 
-check: lint lint-static determinism sanitize chaos test parity bench-smoke serve-smoke telemetry  ## everything CI gates on
+check: lint lint-static determinism sanitize chaos test parity bench-smoke serve-smoke slo telemetry  ## everything CI gates on

@@ -13,10 +13,16 @@ fairness is recorded as ``unfairness = 1 - Jain`` and the cache as its
 miss rate.
 """
 
+import time
+
 import pytest
 
 from common import bench_config, bench_topology, workload_factory
 from repro.bench import bench_seed, register_bench
+from repro.obs import instrument
+from repro.obs.critpath import analyze_critical_paths
+from repro.obs.slo import SloTracker, parse_slo_targets
+from repro.obs.telemetry import TelemetryBus
 from repro.serve import ServeConfig, serve_workload
 from repro.util.tabulate import format_table
 
@@ -82,6 +88,53 @@ def bench_serve_overload():
     return {
         "sim": serve_sim_metrics(report, "overload"),
         "wall": {"serve_wall_seconds.overload": report.wall_seconds},
+    }
+
+
+@register_bench(
+    "serve-slo",
+    suites=("serve",),
+    description="critical-path decomposition and SLO burn over a contended load",
+)
+def bench_serve_slo():
+    """Serve under contention, then attribute where the time went.
+
+    The serve run itself is identical to ``serve-load`` modulo config
+    (telemetry recording is a pure observer — the bit-identity gate in
+    tests/serve covers that), so the sim metrics here are the *analyzer*
+    observables: queue/slot/WAN-contention seconds on the critical path,
+    the conservation residual, and the worst SLO burn rate.  All
+    lower-is-better.
+    """
+    bus = TelemetryBus()
+    with instrument.instrumented(telemetry=bus):
+        report = run_serve(arrival_rate=6.0, cache_capacity=4)
+    started = time.perf_counter()  # lint: allow[R001]
+    crit = analyze_critical_paths(bus.events)
+    tenants = sorted({query.tenant for query in report.queries})
+    specs = parse_slo_targets([f"default={report.p50_qct:.6f}"], tenants)
+    tracker = SloTracker(specs)
+    tracker.observe_events(bus.events)
+    slo = tracker.finalize(report.makespan)
+    analyze_wall = time.perf_counter() - started  # lint: allow[R001]
+    totals = crit.component_totals()
+    worst_burn = max(
+        (slo.burn_rate(tenant, window) for tenant, window in slo.windows),
+        default=0.0,
+    )
+    return {
+        "sim": {
+            "queue_wait.slo": totals["queue_wait"],
+            "slot_wait.slo": totals["slot_wait"],
+            "wan_serial.slo": totals["wan_serial"],
+            "wan_contention.slo": totals["wan_contention"],
+            "max_residual.slo": crit.max_residual(),
+            "worst_burn_rate.slo": worst_burn,
+            "slo_violations.slo": float(
+                sum(row.violations for row in slo.rows)
+            ),
+        },
+        "wall": {"analyze_wall_seconds.slo": analyze_wall},
     }
 
 

@@ -264,6 +264,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--telemetry", metavar="FILE",
                            help="record the streaming event bus (serve/"
                            "cache kinds included) as versioned JSONL")
+    serve_cmd.add_argument("--slo", metavar="TENANT=TARGET",
+                           action="append", default=[],
+                           help="per-tenant QCT target in sim seconds "
+                           "(repeatable; 'default=SECONDS' covers every "
+                           "tenant not named).  Enables the critical-"
+                           "path analyzer and the per-tenant SLO/"
+                           "attainment table")
+    serve_cmd.add_argument("--slo-goal", type=float, default=0.95,
+                           help="attainment goal in (0, 1) shared by "
+                           "every --slo target (default: 0.95)")
+    serve_cmd.add_argument("--slo-window", type=float, default=5.0,
+                           help="burn-rate window length in sim seconds "
+                           "(default: 5.0)")
+    serve_cmd.add_argument("--slo-report", metavar="FILE",
+                           help="write the critical-path / blame / SLO "
+                           "analysis as JSON (implies the analyzer even "
+                           "without --slo)")
+    serve_cmd.add_argument("--sanitize", action="store_true",
+                           help="arm the invariant sanitizer during the "
+                           "run and the critical-path conservation check "
+                           "during analysis; exit 1 on any violation")
 
     from repro.bench.cli import add_bench_arguments
 
@@ -476,20 +497,31 @@ def _run_serve(args: argparse.Namespace) -> int:
         map_slots_per_site=args.map_slots,
         tenant_weights=weights,
     )
+    analyze = bool(args.slo or args.slo_report)
     bus = None
-    if args.telemetry:
+    sanitizer = None
+    if args.telemetry or analyze or args.sanitize:
         from repro.obs import instrument
         from repro.obs.telemetry import TelemetryBus
 
-        bus = TelemetryBus()
-        with instrument.instrumented(telemetry=bus):
+        if args.telemetry or analyze:
+            bus = TelemetryBus()
+        if args.sanitize:
+            from repro.obs.sanitize import Sanitizer
+
+            sanitizer = Sanitizer(mode="collect")
+        with instrument.instrumented(telemetry=bus, sanitizer=sanitizer):
             report = serve_workload(
                 args.scheme, factory, topology, config, serve_config
             )
+            crit = slo_report = None
+            if analyze:
+                crit, slo_report = _analyze_serve(args, report, bus)
     else:
         report = serve_workload(
             args.scheme, factory, topology, config, serve_config
         )
+        crit = slo_report = None
 
     print(
         f"{report.scheme} serving {args.workload}: "
@@ -524,6 +556,19 @@ def _run_serve(args: argparse.Namespace) -> int:
         )
     print()
     print(f"  sim digest: {report.sim_digest()}")
+    if crit is not None:
+        _print_serve_analysis(crit, slo_report)
+    if args.slo_report:
+        with open(args.slo_report, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "critpath": crit.to_dict(),
+                    "slo": slo_report.to_dict() if slo_report else None,
+                },
+                handle,
+                indent=2,
+            )
+        print(f"SLO/blame report written to {args.slo_report}")
     if args.hist:
         with open(args.hist, "w", encoding="utf-8") as handle:
             json.dump(report.latency_histogram(), handle, indent=2)
@@ -532,14 +577,88 @@ def _run_serve(args: argparse.Namespace) -> int:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2)
         print(f"serve report written to {args.json}")
-    if bus is not None:
+    if bus is not None and args.telemetry:
         from repro.obs.telemetry import write_jsonl
 
         write_jsonl(bus, args.telemetry)
         print(
             f"telemetry written to {args.telemetry} ({len(bus.events)} events)"
         )
+    if sanitizer is not None:
+        print()
+        print(sanitizer.summary())
+        if sanitizer.violations:
+            return 1
     return 0
+
+
+def _analyze_serve(args: argparse.Namespace, report, bus):
+    """Run the critical-path analyzer + SLO tracker over a serve run.
+
+    The derived ``slo-*`` / ``slo-blame`` events are appended to the bus
+    (in deterministic order) before the archive is written, so
+    ``--telemetry`` files, ``repro report`` panels and ``repro top``
+    all see the same stream.
+    """
+    from repro.obs.critpath import analyze_critical_paths, emit_blame
+    from repro.obs.slo import SloTracker, parse_slo_targets
+
+    crit = analyze_critical_paths(bus.events)
+    slo_report = None
+    if args.slo:
+        tenants = [tenant.name for tenant in report.tenants]
+        specs = parse_slo_targets(args.slo, tenants, goal=args.slo_goal)
+        tracker = SloTracker(specs, window_seconds=args.slo_window)
+        tracker.observe_events(bus.events)
+        slo_report = tracker.finalize(report.makespan)
+        tracker.emit_events(bus, slo_report)
+    emit_blame(crit, bus)
+    return crit, slo_report
+
+
+def _print_serve_analysis(crit, slo_report) -> None:
+    totals = crit.component_totals()
+    print()
+    print(
+        "  critical path (all queries): "
+        f"queue {format_seconds(totals['queue_wait'])}  "
+        f"slot {format_seconds(totals['slot_wait'])}  "
+        f"map {format_seconds(totals['map_seconds'])}  "
+        f"wan {format_seconds(totals['wan_serial'])}"
+        f"+{format_seconds(totals['wan_contention'])} contended  "
+        f"reduce {format_seconds(totals['reduce_seconds'])}  "
+        f"cache {format_seconds(totals['cached_seconds'])}"
+    )
+    print(f"  conservation: max residual {crit.max_residual():.3e} s")
+    if crit.blame:
+        print("  blame (victim <- top culprits, contention seconds):")
+        for victim in sorted(crit.blame):
+            culprits = crit.blame[victim]
+            ranked = sorted(
+                culprits.items(), key=lambda item: (-item[1], item[0])
+            )[:3]
+            cells = ", ".join(
+                f"{culprit} {seconds:.2f}s" for culprit, seconds in ranked
+            )
+            print(f"    {victim:12s} <- {cells}")
+    if slo_report is not None:
+        print()
+        print(
+            f"  {'tenant':12s} {'target':>8s} {'done':>5s} {'viol':>5s} "
+            f"{'attain':>7s} {'goal':>5s} {'met':>4s} {'p50':>9s} "
+            f"{'p99':>9s} {'burn':>6s}"
+        )
+        for row in slo_report.rows:
+            print(
+                f"  {row.tenant:12s} {row.target_seconds:8.2f} "
+                f"{row.completed:5d} {row.violations:5d} "
+                f"{row.attainment * 100:6.1f}% {row.goal * 100:4.0f}% "
+                f"{'yes' if row.met else 'NO':>4s} "
+                f"{format_seconds(row.p50):>9s} {format_seconds(row.p99):>9s} "
+                f"{row.max_burn:5.1f}x"
+            )
+        print(f"  slo digest: {slo_report.digest()}")
+    print(f"  critpath digest: {crit.digest()}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:

@@ -1,0 +1,599 @@
+"""Per-query critical-path reconstruction over serve telemetry archives.
+
+Under the multi-tenant serve loop a query's QCT is no longer "map +
+shuffle + reduce": it queues behind WFQ admission, waits for executor
+slots, and shares every WAN link with co-running tenants.  This module
+replays a (v2/v3) telemetry event stream *after* the run and rebuilds,
+for every served query, the exact chain of waits that produced its QCT:
+
+``queue wait -> slot wait -> map/combine compute -> WAN shuffle ->
+reduce``
+
+with the WAN term split into the *uncontended serial* time (what the
+critical flow would have taken alone, integrated over the link-sample
+capacity segments the water-filling loop emitted) and the
+*contention-induced delay* (the rest).  Every boundary in the chain is
+an event timestamp, so the components telescope: they sum to the
+query's QCT within 1e-9, and :meth:`repro.obs.sanitize.Sanitizer.
+check_critical_path` enforces that conservation contract when the
+sanitizer is armed.
+
+On top of the decomposition the analyzer attributes each query's
+contention delay (slot wait + WAN contention) to the tenants whose work
+co-occupied the contended slots/links during the relevant segments — a
+tenant x tenant blame matrix, weighted by co-occupancy overlap seconds.
+
+Everything here is a pure reader (R011): the analyzer consumes an event
+sequence and produces a report; it never touches engine/wan/serve
+state.  Two same-seed runs produce bit-identical :meth:`CritPathReport.
+digest` values (the CI serve-smoke gate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import instrument
+from repro.obs.telemetry import TelemetryEvent
+
+#: Absolute slack when matching event timestamps (mirrors the
+#: sanitizer's sim-clock tolerance).
+_TOL = 1e-9
+
+#: Path components in critical-path order; also the digest column order.
+COMPONENTS = (
+    "queue_wait",
+    "slot_wait",
+    "map_seconds",
+    "wan_serial",
+    "wan_contention",
+    "reduce_seconds",
+    "cached_seconds",
+)
+
+
+@dataclass(frozen=True)
+class QueryPath:
+    """One query's reconstructed critical path (all sim seconds)."""
+
+    index: int
+    tenant: str
+    dataset: str
+    status: str  # "executed" | "cached"
+    bound: str  # "wan" | "compute" | "cache"
+    arrival: float
+    finish: float
+    qct: float
+    queue_wait: float
+    slot_wait: float
+    map_seconds: float
+    wan_serial: float
+    wan_contention: float
+    reduce_seconds: float
+    cached_seconds: float
+    crit_site: str = ""  # site whose reduce (or map) ended last
+    crit_src: str = ""  # source site of the critical inbound flow
+
+    @property
+    def components(self) -> Tuple[float, ...]:
+        return tuple(getattr(self, name) for name in COMPONENTS)
+
+    @property
+    def total(self) -> float:
+        """Sum of all components (must equal :attr:`qct` within 1e-9)."""
+        return math.fsum(self.components)
+
+    @property
+    def residual(self) -> float:
+        """Conservation error: component sum minus the reported QCT."""
+        return self.total - self.qct
+
+    @property
+    def contention_seconds(self) -> float:
+        """The blameable share of the path: slot wait + WAN contention."""
+        return self.slot_wait + self.wan_contention
+
+
+@dataclass
+class CritPathReport:
+    """Every query's path plus the aggregated tenant blame matrix."""
+
+    paths: List[QueryPath] = field(default_factory=list)
+    #: victim tenant -> culprit tenant -> attributed contention seconds.
+    blame: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: query index -> culprit tenant -> attributed contention seconds.
+    query_blame: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    tenants: List[str] = field(default_factory=list)
+
+    def component_totals(self) -> Dict[str, float]:
+        totals = {name: 0.0 for name in COMPONENTS}
+        for path in self.paths:
+            for name in COMPONENTS:
+                totals[name] += getattr(path, name)
+        return totals
+
+    def max_residual(self) -> float:
+        return max((abs(path.residual) for path in self.paths), default=0.0)
+
+    def digest(self) -> str:
+        """SHA-256 over every path row and blame cell (sim clock only)."""
+        digest = hashlib.sha256()
+        for path in self.paths:
+            fields = [
+                str(path.index),
+                path.tenant,
+                path.dataset,
+                path.status,
+                path.bound,
+                path.crit_site,
+                path.crit_src,
+                _canonical(path.arrival),
+                _canonical(path.finish),
+                _canonical(path.qct),
+            ]
+            fields.extend(_canonical(value) for value in path.components)
+            digest.update("|".join(fields).encode())
+            digest.update(b"\n")
+        for victim in sorted(self.blame):
+            for culprit in sorted(self.blame[victim]):
+                cell = self.blame[victim][culprit]
+                digest.update(
+                    f"blame|{victim}|{culprit}|{_canonical(cell)}\n".encode()
+                )
+        return digest.hexdigest()
+
+    def to_dict(self) -> Dict:
+        return {
+            "queries": [
+                {
+                    "index": path.index,
+                    "tenant": path.tenant,
+                    "dataset": path.dataset,
+                    "status": path.status,
+                    "bound": path.bound,
+                    "crit_site": path.crit_site,
+                    "crit_src": path.crit_src,
+                    "arrival": path.arrival,
+                    "finish": path.finish,
+                    "qct": path.qct,
+                    "residual": path.residual,
+                    **{name: getattr(path, name) for name in COMPONENTS},
+                }
+                for path in self.paths
+            ],
+            "component_totals": self.component_totals(),
+            "blame": {
+                victim: dict(sorted(culprits.items()))
+                for victim, culprits in sorted(self.blame.items())
+            },
+            "tenants": list(self.tenants),
+            "max_residual": self.max_residual(),
+            "digest": self.digest(),
+        }
+
+
+def _canonical(value: float) -> str:
+    return format(float(value), ".12e")
+
+
+# ----------------------------------------------------------------------
+# event indexing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Flow:
+    """One WAN/LAN flow reassembled from flow-start/flow-finish pairs."""
+
+    tag: str
+    src: str
+    dst: str
+    num_bytes: float
+    start: float
+    finish: float = math.nan
+    wan: bool = True
+
+
+class _EventIndex:
+    """Single-pass index of everything the analyzer needs."""
+
+    def __init__(self, events: Sequence[TelemetryEvent]) -> None:
+        self.arrival: Dict[int, float] = {}
+        self.admit: Dict[int, float] = {}
+        self.queue_seconds: Dict[int, float] = {}
+        self.start: Dict[int, float] = {}
+        self.finish: Dict[int, Tuple[float, float, bool, str, str]] = {}
+        # job tag -> site -> (start, end)
+        self.map_spans: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        self.reduce_spans: Dict[str, Dict[str, Tuple[float, float]]] = {}
+        self.flows: List[_Flow] = []
+        self.flows_by_tag: Dict[str, List[_Flow]] = {}
+        # (direction, site) -> sorted [(t0, t1, capacity_bps), ...]
+        self.link_segments: Dict[Tuple[str, str], List[Tuple[float, float, float]]] = {}
+        open_flows: Dict[Tuple[str, str, str], List[_Flow]] = {}
+        for event in events:
+            kind, attrs, t = event.kind, event.attrs, event.t
+            if kind == "serve-queue":
+                self.arrival[int(attrs["query"])] = float(t)
+            elif kind == "serve-admit":
+                query = int(attrs["query"])
+                self.admit[query] = float(t)
+                self.queue_seconds[query] = float(attrs.get("queue_seconds", 0.0))
+            elif kind == "serve-start":
+                self.start[int(attrs["query"])] = float(t)
+            elif kind == "serve-finish":
+                self.finish[int(attrs["query"])] = (
+                    float(t),
+                    float(attrs.get("qct", 0.0)),
+                    bool(attrs.get("cached", False)),
+                    str(attrs.get("tenant", "")),
+                    str(attrs.get("dataset", "")),
+                )
+            elif kind == "stage-finish":
+                spans = (
+                    self.map_spans
+                    if attrs.get("stage") == "map"
+                    else self.reduce_spans
+                )
+                job = str(attrs.get("job", ""))
+                spans.setdefault(job, {})[str(attrs["site"])] = (
+                    float(attrs.get("start", t)),
+                    float(t),
+                )
+            elif kind == "flow-start":
+                flow = _Flow(
+                    tag=str(attrs.get("tag", "")),
+                    src=str(attrs["src"]),
+                    dst=str(attrs["dst"]),
+                    num_bytes=float(attrs.get("num_bytes", 0.0)),
+                    start=float(t),
+                    wan=bool(attrs.get("wan", True)),
+                )
+                self.flows.append(flow)
+                self.flows_by_tag.setdefault(flow.tag, []).append(flow)
+                open_flows.setdefault((flow.tag, flow.src, flow.dst), []).append(flow)
+            elif kind in ("flow-finish", "flow-fail"):
+                key = (
+                    str(attrs.get("tag", "")),
+                    str(attrs["src"]),
+                    str(attrs["dst"]),
+                )
+                started = open_flows.get(key)
+                if started:
+                    started.pop(0).finish = float(t)
+            elif kind == "link-sample":
+                t0 = float(t)
+                t1 = t0 + float(attrs.get("dt", 0.0))
+                self.link_segments.setdefault(
+                    (str(attrs["direction"]), str(attrs["site"])), []
+                ).append((t0, t1, float(attrs.get("capacity_bps", 0.0))))
+        for segments in self.link_segments.values():
+            segments.sort()
+
+
+def _capacity_at(
+    when: float, segments: Optional[List[Tuple[float, float, float]]]
+) -> Optional[float]:
+    """Piecewise-constant capacity lookup; holds the last value in gaps."""
+    if not segments:
+        return None
+    position = bisect_right(segments, (when, math.inf, math.inf))
+    if position == 0:
+        return segments[0][2]
+    return segments[position - 1][2]
+
+
+def _solo_seconds(
+    start: float,
+    end: float,
+    num_bytes: float,
+    up_segments: Optional[List[Tuple[float, float, float]]],
+    down_segments: Optional[List[Tuple[float, float, float]]],
+) -> float:
+    """Time the flow would take alone: bytes over min(link capacities).
+
+    Integrates the bottleneck capacity (the tighter of the source uplink
+    and destination downlink, both piecewise constant over the coalesced
+    link-sample segments) from the flow's start until ``num_bytes`` are
+    carried.  Max-min fair sharing never hands a flow more than link
+    capacity, so the solo time is a lower bound on the observed time;
+    the result is clamped into ``[0, end - start]`` regardless.
+    """
+    total = end - start
+    if num_bytes <= 0.0 or total <= _TOL:
+        return max(total, 0.0)
+    if up_segments is None and down_segments is None:
+        return total  # no link samples: a LAN hop, nothing was shared
+    boundaries = {start, end}
+    for segments in (up_segments, down_segments):
+        for t0, t1, _capacity in segments or ():
+            if start < t0 < end:
+                boundaries.add(t0)
+            if start < t1 < end:
+                boundaries.add(t1)
+    ordered = sorted(boundaries)
+    carried = 0.0
+    elapsed = 0.0
+    for left, right in zip(ordered, ordered[1:]):
+        capacities = [
+            capacity
+            for capacity in (
+                _capacity_at(left, up_segments),
+                _capacity_at(left, down_segments),
+            )
+            if capacity is not None
+        ]
+        rate = min(capacities) if capacities else 0.0
+        if rate <= 0.0:
+            elapsed += right - left
+            continue
+        chunk = rate * (right - left)
+        if carried + chunk >= num_bytes:
+            elapsed += (num_bytes - carried) / rate
+            return min(max(elapsed, 0.0), total)
+        carried += chunk
+        elapsed += right - left
+    return total  # capacity never covered the bytes: no contention slack
+
+
+# ----------------------------------------------------------------------
+# the analyzer
+# ----------------------------------------------------------------------
+
+
+def _overlap(a0: float, a1: float, b0: float, b1: float) -> float:
+    return max(0.0, min(a1, b1) - max(a0, b0))
+
+
+def analyze_critical_paths(events: Sequence[TelemetryEvent]) -> CritPathReport:
+    """Rebuild every served query's critical path from one event stream.
+
+    Conservation (components sum to the serve-finish ``qct`` within
+    1e-9) is verified through the armed sanitizer's
+    ``check_critical_path`` invariant for every query.
+    """
+    index = _EventIndex(events)
+    report = CritPathReport()
+    tenants = sorted(
+        {meta[3] for meta in index.finish.values() if meta[3]}
+    )
+    report.tenants = tenants
+    sanitizer = instrument.current().sanitizer
+    for query in sorted(index.finish):
+        finish, qct, cached, tenant, dataset = index.finish[query]
+        if cached:
+            path = QueryPath(
+                index=query,
+                tenant=tenant,
+                dataset=dataset,
+                status="cached",
+                bound="cache",
+                arrival=finish - qct,
+                finish=finish,
+                qct=qct,
+                queue_wait=0.0,
+                slot_wait=0.0,
+                map_seconds=0.0,
+                wan_serial=0.0,
+                wan_contention=0.0,
+                reduce_seconds=0.0,
+                cached_seconds=qct,
+            )
+        else:
+            path = _executed_path(index, query, finish, qct, tenant, dataset)
+        if sanitizer.enabled:
+            sanitizer.check_critical_path(path)
+        report.paths.append(path)
+        culprits = _blame_query(index, path, tenant)
+        if culprits:
+            report.query_blame[query] = culprits
+            victim = report.blame.setdefault(tenant, {})
+            for culprit, seconds in culprits.items():
+                victim[culprit] = victim.get(culprit, 0.0) + seconds
+    return report
+
+
+def _executed_path(
+    index: _EventIndex,
+    query: int,
+    finish: float,
+    qct: float,
+    tenant: str,
+    dataset: str,
+) -> QueryPath:
+    job = f"q{query}"
+    admit = index.admit.get(query, finish)
+    arrival = index.arrival.get(query, admit - index.queue_seconds.get(query, 0.0))
+    start = index.start.get(query, admit)
+    reduce_spans = index.reduce_spans.get(job, {})
+    map_spans = index.map_spans.get(job, {})
+    # The critical site is the one whose reduce ended at the query
+    # finish; with no reduce phase (nothing received) it is the site
+    # whose map ended last.
+    crit_site = ""
+    anchor = finish
+    reduce_seconds = 0.0
+    for site in sorted(reduce_spans):
+        span_start, span_end = reduce_spans[site]
+        if abs(span_end - finish) <= _TOL:
+            crit_site = site
+            anchor = span_start
+            reduce_seconds = finish - span_start
+            break
+    if not crit_site:
+        for site in sorted(map_spans):
+            if abs(map_spans[site][1] - finish) <= _TOL:
+                crit_site = site
+                break
+    # WAN-bound iff the last inbound flow at the critical site gated the
+    # reduce start (it arrived at/after the site's own map end).
+    crit_flow: Optional[_Flow] = None
+    if crit_site:
+        map_end = map_spans.get(crit_site, (start, start))[1]
+        inbound = [
+            flow
+            for flow in index.flows_by_tag.get(job, [])
+            if flow.dst == crit_site and not math.isnan(flow.finish)
+        ]
+        if inbound:
+            last = max(inbound, key=lambda flow: (flow.finish, flow.src))
+            if (
+                last.finish >= map_end - _TOL
+                and abs(last.finish - anchor) <= _TOL
+            ):
+                crit_flow = last
+    if crit_flow is not None:
+        map_seconds = crit_flow.start - start
+        wan_total = anchor - crit_flow.start
+        links = index.link_segments
+        serial = _solo_seconds(
+            crit_flow.start,
+            crit_flow.finish,
+            crit_flow.num_bytes,
+            links.get(("up", crit_flow.src)) if crit_flow.wan else None,
+            links.get(("down", crit_flow.dst)) if crit_flow.wan else None,
+        )
+        serial = min(serial, wan_total)
+        bound = "wan"
+        crit_src = crit_flow.src
+    else:
+        map_seconds = anchor - start
+        wan_total = 0.0
+        serial = 0.0
+        bound = "compute"
+        crit_src = ""
+    return QueryPath(
+        index=query,
+        tenant=tenant,
+        dataset=dataset,
+        status="executed",
+        bound=bound,
+        arrival=arrival,
+        finish=finish,
+        qct=qct,
+        queue_wait=admit - arrival,
+        slot_wait=start - admit,
+        map_seconds=map_seconds,
+        wan_serial=serial,
+        wan_contention=wan_total - serial,
+        reduce_seconds=reduce_seconds,
+        cached_seconds=0.0,
+        crit_site=crit_site,
+        crit_src=crit_src,
+    )
+
+
+def _blame_query(
+    index: _EventIndex, path: QueryPath, tenant: str
+) -> Dict[str, float]:
+    """Split one query's contention seconds across co-occupying tenants.
+
+    Slot wait is attributed by overlap of other queries' map stages with
+    the wait window; WAN contention by overlap of other WAN flows on the
+    critical flow's two links with the critical flow's lifetime.  Weight
+    is overlap seconds; with no co-occupant on record the delay is
+    self-attributed so the blame matrix conserves contention seconds.
+    """
+    blame: Dict[str, float] = {}
+    job = f"q{path.index}"
+    tenant_of = {
+        query: meta[3] for query, meta in index.finish.items()
+    }
+    if path.slot_wait > _TOL:
+        window0 = path.arrival + path.queue_wait  # == admit
+        window1 = window0 + path.slot_wait  # == start
+        weights: Dict[str, float] = {}
+        for other_job, spans in index.map_spans.items():
+            if other_job == job or not other_job.startswith("q"):
+                continue
+            try:
+                other_query = int(other_job[1:])
+            except ValueError:
+                continue
+            other_tenant = tenant_of.get(other_query, "")
+            if not other_tenant:
+                continue
+            shared = sum(
+                _overlap(span[0], span[1], window0, window1)
+                for span in spans.values()
+            )
+            if shared > 0.0:
+                weights[other_tenant] = weights.get(other_tenant, 0.0) + shared
+        _distribute(blame, path.slot_wait, weights, tenant)
+    if path.wan_contention > _TOL and path.crit_src:
+        crit = next(
+            (
+                flow
+                for flow in index.flows_by_tag.get(job, [])
+                if flow.src == path.crit_src and flow.dst == path.crit_site
+            ),
+            None,
+        )
+        if crit is not None:
+            weights = {}
+            for flow in index.flows:
+                if flow is crit or not flow.wan or math.isnan(flow.finish):
+                    continue
+                if flow.src != crit.src and flow.dst != crit.dst:
+                    continue
+                shared = _overlap(flow.start, flow.finish, crit.start, crit.finish)
+                if shared <= 0.0:
+                    continue
+                try:
+                    other_tenant = tenant_of.get(int(flow.tag[1:]), "")
+                except (ValueError, IndexError):
+                    other_tenant = ""
+                if other_tenant:
+                    weights[other_tenant] = weights.get(other_tenant, 0.0) + shared
+            _distribute(blame, path.wan_contention, weights, tenant)
+        else:
+            _distribute(blame, path.wan_contention, {}, tenant)
+    return blame
+
+
+def _distribute(
+    blame: Dict[str, float],
+    seconds: float,
+    weights: Dict[str, float],
+    fallback: str,
+) -> None:
+    total = math.fsum(weights.values())
+    if total <= 0.0:
+        blame[fallback] = blame.get(fallback, 0.0) + seconds
+        return
+    for culprit in sorted(weights):
+        share = seconds * (weights[culprit] / total)
+        blame[culprit] = blame.get(culprit, 0.0) + share
+
+
+def emit_blame(report: CritPathReport, bus) -> int:
+    """Append one ``slo-blame`` event per blamed query to ``bus``.
+
+    Events land in (finish, index) order so two same-seed runs produce
+    byte-identical archives; returns the number of events emitted.
+    """
+    emitted = 0
+    ordered = sorted(report.paths, key=lambda path: (path.finish, path.index))
+    for path in ordered:
+        culprits = report.query_blame.get(path.index)
+        if not culprits:
+            continue
+        top = max(sorted(culprits), key=lambda name: culprits[name])
+        total = math.fsum(culprits.values())
+        bus.emit(
+            "slo-blame",
+            t=path.finish,
+            tenant=path.tenant,
+            query=path.index,
+            culprit=top,
+            seconds=total,
+            share=culprits[top] / total if total > 0 else 0.0,
+            slot_wait=path.slot_wait,
+            wan_contention=path.wan_contention,
+        )
+        emitted += 1
+    return emitted

@@ -8,7 +8,12 @@ does, including artifact viewers.  Panels:
 * per-link utilization heatmap (time-bucketed, fault windows underlined);
 * per-site stage Gantt (map/reduce lanes, fault windows shaded);
 * estimator-error curve (signed relative error per direction);
-* cumulative delivered vs. abandoned WAN bytes.
+* cumulative delivered vs. abandoned WAN bytes;
+* serve archives add three more: per-query critical-path stacked bars
+  (queue/slot/map/WAN serial/WAN contention/reduce, from
+  :mod:`repro.obs.critpath`), the tenant x tenant contention blame
+  heatmap, and the per-tenant SLO burn-rate timeline (``slo-window``
+  events).
 
 Visual conventions follow the repo-wide chart method: categorical hues in
 fixed order (blue, orange), one-hue sequential ramp for magnitude, status
@@ -527,6 +532,197 @@ def _bytes_panel(events: Sequence[TelemetryEvent]) -> str:
     return chart + note
 
 
+#: Critical-path component -> (label, CSS class); stacked in path order.
+_CRIT_STYLES = (
+    ("queue_wait", "queue", "q3"),
+    ("slot_wait", "slot", "q6"),
+    ("map_seconds", "map", "series-1"),
+    ("wan_serial", "wan serial", "series-3"),
+    ("wan_contention", "wan contention", "status-serious"),
+    ("reduce_seconds", "reduce", "series-2"),
+    ("cached_seconds", "cache", "q1"),
+)
+
+#: Rows shown in the per-query stacked-bar panel (longest QCT first).
+_CRIT_MAX_ROWS = 40
+
+
+def _critpath_panel(crit) -> str:
+    if crit is None or not crit.paths:
+        return (
+            "<p class='empty'>No serve-finish events (critical paths are "
+            "derived from serve archives).</p>"
+        )
+    ranked = sorted(crit.paths, key=lambda path: (-path.qct, path.index))
+    shown = ranked[:_CRIT_MAX_ROWS]
+    longest = max(path.qct for path in shown) or 1.0
+    row_h, gap = 14, 3
+    top, bottom = 8, 10
+    height = top + len(shown) * (row_h + gap) + bottom
+    parts = [
+        f'<svg viewBox="0 0 {_WIDTH} {height}" role="img" '
+        f'aria-label="Per-query critical-path stacked bars">'
+    ]
+    for row, path in enumerate(shown):
+        y = top + row * (row_h + gap)
+        label = f"q{path.index} · {path.tenant}"
+        parts.append(
+            f'<text x="{_LABEL_W - 8}" y="{y + row_h - 3}" '
+            f'text-anchor="end" class="axis-label">{_esc(label)}</text>'
+        )
+        x = float(_LABEL_W)
+        for name, title_label, css in _CRIT_STYLES:
+            seconds = getattr(path, name)
+            width = _PLOT_W * seconds / longest
+            if width <= 0.0:
+                continue
+            title = (
+                f"{label} · {title_label} {_fmt_seconds(seconds)} of "
+                f"{_fmt_seconds(path.qct)} qct ({path.bound}-bound)"
+            )
+            parts.append(
+                f'<rect x="{x:.2f}" y="{y}" width="{max(width, 0.5):.2f}" '
+                f'height="{row_h}" class="{css}">'
+                f"<title>{_esc(title)}</title></rect>"
+            )
+            x += width
+    parts.append("</svg>")
+    chips = "".join(
+        '<span class="chip"><span class="swatch {css}"></span>{label}</span>'.format(
+            css=css, label=_esc(label)
+        )
+        for _name, label, css in _CRIT_STYLES
+    )
+    parts.append(f'<div class="legend">{chips}</div>')
+    if len(ranked) > len(shown):
+        parts.append(
+            f"<p class='note'>Showing the {len(shown)} longest of "
+            f"{len(ranked)} queries.</p>"
+        )
+    totals = crit.component_totals()
+    table_rows = "".join(
+        "<tr><td>{label}</td><td>{value}</td></tr>".format(
+            label=_esc(label), value=_fmt_seconds(totals[name])
+        )
+        for name, label, _css in _CRIT_STYLES
+    )
+    parts.append(
+        "<details><summary>Component totals (all queries, max residual "
+        f"{crit.max_residual():.2e} s)</summary><table>"
+        "<tr><th>Component</th><th>Total</th></tr>"
+        f"{table_rows}</table></details>"
+    )
+    return "".join(parts)
+
+
+def _blame_panel(crit) -> str:
+    if crit is None or not crit.blame:
+        return (
+            "<p class='empty'>No contention to attribute (no slot waits or "
+            "contended WAN segments).</p>"
+        )
+    tenants = crit.tenants
+    peak = max(
+        seconds for culprits in crit.blame.values() for seconds in culprits.values()
+    ) or 1.0
+    cell, gap = 34, 3
+    top = 26
+    height = top + len(tenants) * (cell + gap) + 10
+    parts = [
+        f'<svg viewBox="0 0 {_WIDTH} {height}" role="img" '
+        f'aria-label="Tenant contention blame heatmap">'
+    ]
+    for column, culprit in enumerate(tenants):
+        x = _LABEL_W + column * (cell + gap) + cell / 2
+        parts.append(
+            f'<text x="{x:.2f}" y="{top - 8}" text-anchor="middle" '
+            f'class="axis-label">{_esc(culprit)}</text>'
+        )
+    for row, victim in enumerate(tenants):
+        y = top + row * (cell + gap)
+        parts.append(
+            f'<text x="{_LABEL_W - 8}" y="{y + cell / 2 + 4}" '
+            f'text-anchor="end" class="axis-label">{_esc(victim)}</text>'
+        )
+        for column, culprit in enumerate(tenants):
+            seconds = crit.blame.get(victim, {}).get(culprit, 0.0)
+            x = _LABEL_W + column * (cell + gap)
+            title = (
+                f"{victim} delayed {_fmt_seconds(seconds)} by {culprit}"
+                if seconds
+                else f"{victim}: no delay attributed to {culprit}"
+            )
+            parts.append(
+                f'<rect x="{x}" y="{y}" width="{cell}" height="{cell}" rx="3" '
+                f'class="q{_seq_index(seconds / peak)}">'
+                f"<title>{_esc(title)}</title></rect>"
+            )
+    parts.append("</svg>")
+    scale = "".join(
+        f'<span class="swatch q{index}"></span>'
+        for index in range(0, len(_SEQ_RAMP), 2)
+    )
+    parts.append(
+        f'<div class="legend"><span class="chip">0 s {scale} '
+        f"{_fmt_seconds(peak)}</span>"
+        "<span class='chip'>rows: delayed tenant · columns: blamed "
+        "tenant</span></div>"
+    )
+    table_rows = "".join(
+        "<tr><td>{victim}</td><td>{culprit}</td><td>{seconds}</td></tr>".format(
+            victim=_esc(victim), culprit=_esc(culprit),
+            seconds=_fmt_seconds(crit.blame[victim][culprit]),
+        )
+        for victim in sorted(crit.blame)
+        for culprit in sorted(crit.blame[victim])
+    )
+    parts.append(
+        "<details><summary>Data table</summary><table>"
+        "<tr><th>Delayed tenant</th><th>Blamed tenant</th><th>Seconds</th></tr>"
+        f"{table_rows}</table></details>"
+    )
+    return "".join(parts)
+
+
+def _burn_panel(events: Sequence[TelemetryEvent]) -> str:
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for event in events:
+        if event.kind != "slo-window":
+            continue
+        tenant = str(event.attrs.get("tenant", ""))
+        series.setdefault(tenant, []).append(
+            (float(event.t or 0.0), float(event.attrs.get("burn_rate", 0.0)))
+        )
+    if not series:
+        return (
+            "<p class='empty'>No slo-window events (record one with "
+            "<code>repro serve --slo TENANT=TARGET --telemetry FILE</code>).</p>"
+        )
+    palette = ("series-1", "series-2", "series-3")
+    colors = {
+        name: palette[index % len(palette)]
+        for index, name in enumerate(sorted(series))
+    }
+    chart = _line_chart(
+        series,
+        colors,
+        y_label="burn rate (violation rate ÷ error budget; 1x = on budget)",
+        y_format=lambda value: f"{value:.1f}x",
+        aria="SLO burn rate per tenant over time",
+        step=True,
+    )
+    worst = max(
+        (burn, tenant)
+        for tenant, points in series.items()
+        for _t, burn in points
+    )
+    note = (
+        f"<p class='note'>Worst window: <strong>{_esc(worst[1])}</strong> "
+        f"burned budget at <strong>{worst[0]:.1f}x</strong>.</p>"
+    )
+    return chart + note
+
+
 def _event_summary(events: Sequence[TelemetryEvent]) -> str:
     counts: Dict[str, int] = {}
     for event in events:
@@ -600,10 +796,13 @@ svg { width: 100%; height: auto; display: block; }
 .line { stroke-width: 2; }
 .line.series-1 { stroke: var(--series-1); }
 .line.series-2 { stroke: var(--series-2); }
+.line.series-3 { stroke: var(--series-3); }
 .dot.series-1 { fill: var(--series-1); stroke: var(--surface-1); stroke-width: 2; }
 .dot.series-2 { fill: var(--series-2); stroke: var(--surface-1); stroke-width: 2; }
+.dot.series-3 { fill: var(--series-3); stroke: var(--surface-1); stroke-width: 2; }
 rect.series-1 { fill: var(--series-1); }
 rect.series-2 { fill: var(--series-2); }
+rect.series-3 { fill: var(--series-3); }
 rect.status-critical { fill: var(--status-critical); }
 rect.status-serious { fill: var(--status-serious); }
 .fault-wash { opacity: 0.16; }
@@ -615,8 +814,9 @@ rect.status-serious { fill: var(--status-serious); }
 }
 .swatch.series-1 { background: var(--series-1); }
 .swatch.series-2 { background: var(--series-2); }
-.swatch.status-critical { background: var(--status-critical); }
+.swatch.series-3 { background: var(--series-3); }
 .swatch.status-serious { background: var(--status-serious); }
+.swatch.status-critical { background: var(--status-critical); }
 """ + "".join(
     f".q{i} {{ fill: var(--seq-{i}); }} .swatch.q{i} {{ background: var(--seq-{i}); }}\n"
     for i in range(len(_SEQ_RAMP))
@@ -645,12 +845,20 @@ def render_report(
         f"{_fmt_seconds(sim_horizon(events))}"
         + (f" · {source}" if source else "")
     )
+    crit = None
+    if any(event.kind == "serve-finish" for event in events):
+        from repro.obs.critpath import analyze_critical_paths
+
+        crit = analyze_critical_paths(events)
     sections = [
         ("", _stat_tiles(events)),
         ("Per-link utilization", _heatmap_panel(events)),
         ("Stage Gantt", _gantt_panel(events)),
         ("Bandwidth-estimator error", _estimator_panel(events)),
         ("Delivered vs. abandoned WAN bytes", _bytes_panel(events)),
+        ("Per-query critical path", _critpath_panel(crit)),
+        ("Contention blame (tenant × tenant)", _blame_panel(crit)),
+        ("SLO burn rate", _burn_panel(events)),
         ("", _event_summary(events)),
     ]
     body = "".join(

@@ -20,7 +20,11 @@ when the simulator is healthy, checked at the existing
 * **fault accounting** (chaos runs only) — bytes lost to abandoned
   transfers match the failed transfers' payloads, outage-excluded sites
   did no work, and the retry loop conserves bytes (delivered + abandoned
-  == requested) within the policy's attempt budget.
+  == requested) within the policy's attempt budget;
+* **critical-path conservation** (serve analysis) — a reconstructed
+  query path's components (queue wait, slot wait, map, WAN serial +
+  contention, reduce, cache) are non-negative and sum to the query's
+  QCT within 1e-9.
 
 A disabled call site costs one attribute check (``sanitizer.enabled``),
 mirroring the tracer/metrics no-op twins.  In ``collect`` mode (the CLI
@@ -64,6 +68,9 @@ class NullSanitizer:
         return None
 
     def check_retry_outcome(self, outcome, policy) -> None:
+        return None
+
+    def check_critical_path(self, path) -> None:
         return None
 
 
@@ -338,6 +345,37 @@ class Sanitizer:
                 f"transfer {label} finished at {result.finish_time} before "
                 f"its original submission {result.transfer.start_time}",
             )
+
+    def check_critical_path(self, path) -> None:
+        """A reconstructed serve-query path conserves its QCT.
+
+        Every component is an interval between two event timestamps, so
+        the decomposition must telescope: non-negative components whose
+        sum matches the reported QCT within the sim-clock tolerance.
+        """
+        for name, value in zip(
+            (
+                "queue_wait",
+                "slot_wait",
+                "map_seconds",
+                "wan_serial",
+                "wan_contention",
+                "reduce_seconds",
+                "cached_seconds",
+            ),
+            path.components,
+        ):
+            self._check(
+                "critpath-conservation",
+                value >= -_ABS_TOL_SECONDS,
+                f"q{path.index}: negative path component {name}={value}",
+            )
+        self._check(
+            "critpath-conservation",
+            abs(path.total - path.qct) <= _ABS_TOL_SECONDS,
+            f"q{path.index}: components sum to {path.total} but "
+            f"qct is {path.qct} (residual {path.total - path.qct:+.3e})",
+        )
 
     # ------------------------------------------------------------------
     # reporting

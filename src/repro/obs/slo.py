@@ -1,0 +1,465 @@
+"""Per-tenant SLO tracking over serve latency streams.
+
+The serving layer's per-tenant latency is summarized three ways, all
+deterministic (two same-seed runs produce bit-identical digests):
+
+* a **streaming quantile sketch** (:class:`QuantileSketch`, the
+  Greenwald–Khanna epsilon-approximate summary) folds every completed
+  query's QCT without retaining the full sample list — rank error is
+  bounded by ``epsilon * n``, pinned by the sketch-vs-exact parity
+  test;
+* an **SLO target** per tenant (:class:`SloSpec`: a latency target plus
+  an attainment goal) turns each QCT into an ok/violation sample;
+* **rolling burn-rate windows**: sim time is cut into fixed windows and
+  each window's violation rate is expressed as a multiple of the error
+  budget (``1 - goal``) — burn rate > 1 means the tenant is burning
+  budget faster than the SLO allows.
+
+The tracker replays ``serve-finish`` events (or any deterministic
+sample feed) and emits the schema-v3 ``slo-sample`` / ``slo-window`` /
+``slo-status`` kinds onto a telemetry bus, so archives, ``repro
+report`` panels, and ``repro top`` all see the same stream.  Like every
+``repro.obs`` module it is a pure observer (R011): it never mutates
+engine/wan/serve state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ObservabilityError
+from repro.obs.telemetry import TelemetryEvent
+
+#: Default rank-error budget for the latency sketches.
+DEFAULT_EPSILON = 0.005
+#: Default attainment goal when a target comes without one.
+DEFAULT_GOAL = 0.95
+#: Default burn-rate window length (sim seconds).
+DEFAULT_WINDOW_SECONDS = 5.0
+
+
+def _canonical(value: float) -> str:
+    return format(float(value), ".12e")
+
+
+# ----------------------------------------------------------------------
+# streaming quantiles
+# ----------------------------------------------------------------------
+
+
+class QuantileSketch:
+    """Greenwald–Khanna epsilon-approximate streaming quantile summary.
+
+    Entries are ``[value, g, delta]`` tuples kept sorted by value;
+    ``g`` is the rank gap to the previous entry and ``delta`` the rank
+    uncertainty.  :meth:`query` returns a value whose rank is within
+    ``epsilon * count`` of the requested one.  Insertion and the
+    periodic compress are purely value-driven — no randomness — so the
+    summary is deterministic for a given input order.
+    """
+
+    def __init__(self, epsilon: float = DEFAULT_EPSILON) -> None:
+        if not 0.0 < epsilon < 0.5:
+            raise ObservabilityError(
+                f"sketch epsilon must be in (0, 0.5), got {epsilon}"
+            )
+        self.epsilon = epsilon
+        self.count = 0
+        self._entries: List[List[float]] = []
+        self._since_compress = 0
+        self._compress_every = max(1, int(1.0 / (2.0 * epsilon)))
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the summary."""
+        value = float(value)
+        if math.isnan(value) or math.isinf(value):
+            raise ObservabilityError(f"sketch sample must be finite, got {value}")
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        position = bisect_right(self._entries, value, key=lambda entry: entry[0])
+        if position == 0 or position == len(self._entries):
+            delta = 0.0
+        else:
+            delta = math.floor(2.0 * self.epsilon * self.count)
+        self._entries.insert(position, [value, 1.0, delta])
+        self.count += 1
+        self._since_compress += 1
+        if self._since_compress >= self._compress_every:
+            self._compress()
+            self._since_compress = 0
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def _compress(self) -> None:
+        """Merge adjacent entries whose combined rank span stays in budget."""
+        threshold = math.floor(2.0 * self.epsilon * self.count)
+        entries = self._entries
+        position = len(entries) - 2
+        while position >= 1:
+            _value, g, _delta = entries[position]
+            nxt = entries[position + 1]
+            if g + nxt[1] + nxt[2] <= threshold:
+                nxt[1] += g
+                del entries[position]
+            position -= 1
+
+    def query(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1], within epsilon rank error."""
+        if not self.count:
+            return 0.0
+        q = min(max(q, 0.0), 1.0)
+        if q <= 0.0:
+            return self.minimum
+        if q >= 1.0:
+            return self.maximum
+        rank = max(1.0, math.ceil(q * self.count))
+        margin = self.epsilon * self.count
+        rank_floor = 0.0
+        previous = self._entries[0][0]
+        for value, g, delta in self._entries:
+            rank_floor += g
+            if rank_floor + delta > rank + margin:
+                return previous
+            previous = value
+        return self._entries[-1][0]
+
+    @property
+    def retained(self) -> int:
+        """Entries currently held (the sketch's memory footprint)."""
+        return len(self._entries)
+
+    def digest_fields(self) -> List[str]:
+        """Canonical strings for determinism digests."""
+        fields = [str(self.count), str(self.retained)]
+        if self.count:
+            fields.append(_canonical(self.minimum))
+            fields.append(_canonical(self.maximum))
+            for grid in (0.5, 0.9, 0.99):
+                fields.append(_canonical(self.query(grid)))
+        return fields
+
+
+# ----------------------------------------------------------------------
+# SLO specs and tracking
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One tenant's objective: a latency target plus an attainment goal."""
+
+    tenant: str
+    target_seconds: float
+    goal: float = DEFAULT_GOAL
+
+    def __post_init__(self) -> None:
+        if self.target_seconds <= 0.0:
+            raise ObservabilityError(
+                f"{self.tenant}: SLO target must be positive, "
+                f"got {self.target_seconds}"
+            )
+        if not 0.0 < self.goal < 1.0:
+            raise ObservabilityError(
+                f"{self.tenant}: attainment goal must be in (0, 1), "
+                f"got {self.goal} (an error budget of zero makes burn "
+                "rate undefined)"
+            )
+
+
+def parse_slo_targets(
+    items: Sequence[str],
+    tenants: Sequence[str],
+    goal: float = DEFAULT_GOAL,
+) -> List[SloSpec]:
+    """Parse ``TENANT=TARGET`` pairs (the ``repro serve --slo`` syntax).
+
+    ``default=TARGET`` applies to every tenant not named explicitly;
+    explicit pairs win.  Unknown tenant names are an error so a typo'd
+    ``--slo`` fails loudly instead of silently tracking nothing.
+    """
+    default: Optional[float] = None
+    explicit: Dict[str, float] = {}
+    for item in items:
+        name, separator, raw = item.partition("=")
+        if not separator or not name or not raw:
+            raise ObservabilityError(
+                f"bad SLO target {item!r}: expected TENANT=SECONDS"
+            )
+        try:
+            target = float(raw)
+        except ValueError:
+            raise ObservabilityError(
+                f"bad SLO target {item!r}: {raw!r} is not a number"
+            ) from None
+        if name == "default":
+            default = target
+        elif name in tenants:
+            explicit[name] = target
+        else:
+            raise ObservabilityError(
+                f"bad SLO target {item!r}: unknown tenant {name!r} "
+                f"(tenants: {', '.join(tenants)})"
+            )
+    specs = []
+    for tenant in sorted(tenants):
+        target = explicit.get(tenant, default)
+        if target is not None:
+            specs.append(SloSpec(tenant=tenant, target_seconds=target, goal=goal))
+    return specs
+
+
+@dataclass
+class TenantSlo:
+    """One tenant's final SLO standing."""
+
+    tenant: str
+    target_seconds: float
+    goal: float
+    completed: int = 0
+    violations: int = 0
+    p50: float = 0.0
+    p99: float = 0.0
+    max_burn: float = 0.0
+
+    @property
+    def attainment(self) -> float:
+        if not self.completed:
+            return 1.0
+        return (self.completed - self.violations) / self.completed
+
+    @property
+    def met(self) -> bool:
+        return self.attainment >= self.goal
+
+
+@dataclass
+class SloReport:
+    """Per-tenant SLO standings plus the rolling burn-rate windows."""
+
+    window_seconds: float
+    rows: List[TenantSlo] = field(default_factory=list)
+    #: (tenant, window index) -> [total, violations], window-aligned.
+    windows: Dict[Tuple[str, int], List[int]] = field(default_factory=dict)
+    makespan: float = 0.0
+
+    def burn_rate(self, tenant: str, window: int) -> float:
+        spec_row = next(row for row in self.rows if row.tenant == tenant)
+        total, violations = self.windows[(tenant, window)]
+        if not total:
+            return 0.0
+        return (violations / total) / (1.0 - spec_row.goal)
+
+    def digest(self) -> str:
+        digest = hashlib.sha256()
+        for row in self.rows:
+            digest.update(
+                "|".join(
+                    [
+                        row.tenant,
+                        _canonical(row.target_seconds),
+                        _canonical(row.goal),
+                        str(row.completed),
+                        str(row.violations),
+                        _canonical(row.attainment),
+                        _canonical(row.p50),
+                        _canonical(row.p99),
+                        _canonical(row.max_burn),
+                    ]
+                ).encode()
+            )
+            digest.update(b"\n")
+        for tenant, window in sorted(self.windows):
+            total, violations = self.windows[(tenant, window)]
+            digest.update(
+                f"window|{tenant}|{window}|{total}|{violations}\n".encode()
+            )
+        return digest.hexdigest()
+
+    def to_dict(self) -> Dict:
+        return {
+            "window_seconds": self.window_seconds,
+            "makespan": self.makespan,
+            "tenants": [
+                {
+                    "tenant": row.tenant,
+                    "target_seconds": row.target_seconds,
+                    "goal": row.goal,
+                    "completed": row.completed,
+                    "violations": row.violations,
+                    "attainment": row.attainment,
+                    "met": row.met,
+                    "p50": row.p50,
+                    "p99": row.p99,
+                    "max_burn": row.max_burn,
+                }
+                for row in self.rows
+            ],
+            "windows": [
+                {
+                    "tenant": tenant,
+                    "window": window,
+                    "start": window * self.window_seconds,
+                    "end": (window + 1) * self.window_seconds,
+                    "total": counts[0],
+                    "violations": counts[1],
+                    "burn_rate": self.burn_rate(tenant, window),
+                }
+                for (tenant, window), counts in sorted(self.windows.items())
+            ],
+            "digest": self.digest(),
+        }
+
+
+class SloTracker:
+    """Folds completed-query latencies into per-tenant SLO standings.
+
+    Feed observations in a deterministic order (stream order of
+    ``serve-finish`` events, or ``(finish, index)``-sorted report rows)
+    and the emitted ``slo-*`` events are bit-identical across same-seed
+    runs.  Tenants without a spec are ignored — SLOs are opt-in per
+    tenant.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[SloSpec],
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        epsilon: float = DEFAULT_EPSILON,
+    ) -> None:
+        if window_seconds <= 0.0:
+            raise ObservabilityError(
+                f"burn window must be positive, got {window_seconds}"
+            )
+        names = [spec.tenant for spec in specs]
+        if len(set(names)) != len(names):
+            raise ObservabilityError(f"duplicate SLO specs for {sorted(names)}")
+        self.specs: Dict[str, SloSpec] = {
+            spec.tenant: spec for spec in sorted(specs, key=lambda s: s.tenant)
+        }
+        self.window_seconds = window_seconds
+        self._sketches: Dict[str, QuantileSketch] = {
+            tenant: QuantileSketch(epsilon) for tenant in self.specs
+        }
+        self._totals: Dict[str, List[int]] = {
+            tenant: [0, 0] for tenant in self.specs
+        }
+        self._windows: Dict[Tuple[str, int], List[int]] = {}
+        #: (t, query, tenant, qct, ok) in observation order.
+        self._samples: List[Tuple[float, int, str, float, bool]] = []
+
+    def observe(self, tenant: str, finish: float, qct: float, query: int = -1) -> None:
+        """Fold one completed query; no-op for tenants without a spec."""
+        spec = self.specs.get(tenant)
+        if spec is None:
+            return
+        ok = qct <= spec.target_seconds
+        self._sketches[tenant].add(qct)
+        totals = self._totals[tenant]
+        totals[0] += 1
+        if not ok:
+            totals[1] += 1
+        window = int(finish // self.window_seconds)
+        counts = self._windows.setdefault((tenant, window), [0, 0])
+        counts[0] += 1
+        if not ok:
+            counts[1] += 1
+        self._samples.append((finish, query, tenant, qct, ok))
+
+    def observe_events(self, events: Sequence[TelemetryEvent]) -> int:
+        """Replay ``serve-finish`` events in stream order; returns count."""
+        observed = 0
+        for event in events:
+            if event.kind != "serve-finish":
+                continue
+            attrs = event.attrs
+            self.observe(
+                str(attrs.get("tenant", "")),
+                float(event.t or 0.0),
+                float(attrs.get("qct", 0.0)),
+                query=int(attrs.get("query", -1)),
+            )
+            observed += 1
+        return observed
+
+    def finalize(self, makespan: float = 0.0) -> SloReport:
+        report = SloReport(
+            window_seconds=self.window_seconds,
+            windows=dict(self._windows),
+            makespan=makespan,
+        )
+        for tenant, spec in self.specs.items():
+            sketch = self._sketches[tenant]
+            total, violations = self._totals[tenant]
+            row = TenantSlo(
+                tenant=tenant,
+                target_seconds=spec.target_seconds,
+                goal=spec.goal,
+                completed=total,
+                violations=violations,
+                p50=sketch.query(0.5) if total else 0.0,
+                p99=sketch.query(0.99) if total else 0.0,
+            )
+            report.rows.append(row)
+        for (tenant, window), _counts in sorted(self._windows.items()):
+            burn = report.burn_rate(tenant, window)
+            for row in report.rows:
+                if row.tenant == tenant:
+                    row.max_burn = max(row.max_burn, burn)
+        return report
+
+    def emit_events(self, bus, report: SloReport) -> int:
+        """Append the ``slo-*`` stream for this run to ``bus``.
+
+        Order: every ``slo-sample`` in observation order, then
+        ``slo-window`` rows sorted by (tenant, window), then one
+        ``slo-status`` per tenant — all deterministic.
+        """
+        emitted = 0
+        for finish, query, tenant, qct, ok in self._samples:
+            bus.emit(
+                "slo-sample",
+                t=finish,
+                tenant=tenant,
+                query=query,
+                qct=qct,
+                ok=ok,
+                target_seconds=self.specs[tenant].target_seconds,
+            )
+            emitted += 1
+        for (tenant, window), counts in sorted(self._windows.items()):
+            bus.emit(
+                "slo-window",
+                t=(window + 1) * self.window_seconds,
+                tenant=tenant,
+                window=window,
+                window_seconds=self.window_seconds,
+                total=counts[0],
+                violations=counts[1],
+                burn_rate=report.burn_rate(tenant, window),
+            )
+            emitted += 1
+        for row in report.rows:
+            bus.emit(
+                "slo-status",
+                t=report.makespan,
+                tenant=row.tenant,
+                target_seconds=row.target_seconds,
+                goal=row.goal,
+                completed=row.completed,
+                violations=row.violations,
+                attainment=row.attainment,
+                met=row.met,
+                p50=row.p50,
+                p99=row.p99,
+                max_burn=row.max_burn,
+            )
+            emitted += 1
+        return emitted

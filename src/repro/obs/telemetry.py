@@ -12,8 +12,9 @@ Like the instrument slot's other members, the bus has a no-op twin
 (:data:`NULL_TELEMETRY`): a disabled call site costs one attribute lookup
 and a truthiness check, so the telemetry-off hot path is unchanged.
 
-Event model (schema v2, specified in DESIGN.md; v2 = v1 plus the
-serving-layer kinds — old archives load unchanged):
+Event model (schema v3, specified in DESIGN.md; v2 = v1 plus the
+serving-layer kinds, v3 = v2 plus the explicit queue/slot wait kinds and
+the SLO tracker's ``slo-*`` kinds — old archives load unchanged):
 
 * ``seq`` — monotonically increasing per bus, fixing a total order;
 * ``t`` — simulated-clock seconds the event describes, or ``None`` for
@@ -42,12 +43,12 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tupl
 from repro.errors import ObservabilityError
 
 #: Schema version written into the JSONL header line.
-TELEMETRY_VERSION = 2
+TELEMETRY_VERSION = 3
 
-#: Archive versions :func:`load_jsonl` still understands.  v1 archives
-#: are a strict subset of v2 (the serve kinds were added, nothing was
-#: renamed or removed), so old archives stay loadable forever.
-SUPPORTED_VERSIONS = frozenset({1, 2})
+#: Archive versions :func:`load_jsonl` still understands.  Each version
+#: is a strict superset of the previous one (kinds were added, nothing
+#: was renamed or removed), so old archives stay loadable forever.
+SUPPORTED_VERSIONS = frozenset({1, 2, 3})
 
 #: Every event kind the v1 schema admitted, grouped by emitting layer.
 V1_EVENT_KINDS = frozenset(
@@ -99,8 +100,26 @@ SERVE_EVENT_KINDS = frozenset(
     }
 )
 
+#: Kinds added by schema v3: explicit admission-wait markers from the
+#: serve scheduler (``queue-enter``/``slot-wait``), the dynamic-feed
+#: batch marker (``serve-batch``, emitted since the feeds landed but
+#: only now part of the closed set), and the SLO tracker's per-sample /
+#: rolling-window / final-status / blame-attribution stream
+#: (repro/obs/slo.py + repro/obs/critpath.py).
+V3_EVENT_KINDS = frozenset(
+    {
+        "queue-enter",
+        "slot-wait",
+        "serve-batch",
+        "slo-sample",
+        "slo-window",
+        "slo-status",
+        "slo-blame",
+    }
+)
+
 #: The full closed kind set of the current schema version.
-EVENT_KINDS = V1_EVENT_KINDS | SERVE_EVENT_KINDS
+EVENT_KINDS = V1_EVENT_KINDS | SERVE_EVENT_KINDS | V3_EVENT_KINDS
 
 #: Attribute keys carrying wall-measured values (excluded from digests;
 #: keys ending in ``wall_seconds`` are excluded by suffix as well).

@@ -21,7 +21,8 @@ from repro.obs.telemetry import TelemetryBus, TelemetryEvent
 
 #: Event kinds that force an immediate repaint regardless of cadence.
 _REPAINT_KINDS = frozenset(
-    {"query-finish", "query-abort", "replan", "degraded-replan", "batch-applied"}
+    {"query-finish", "query-abort", "replan", "degraded-replan",
+     "batch-applied", "slo-status"}
 )
 
 
@@ -70,6 +71,14 @@ class TelemetryTop:
         self.last_qct: Optional[float] = None
         #: Latest utilization sample per (site, direction).
         self.link_state: Dict[Tuple[str, str], float] = {}
+        # SLO / blame columns (schema v3 streams; stay hidden until the
+        # first slo-* event arrives).
+        self.slo_ok = 0
+        self.slo_violations = 0
+        self.worst_burn = 0.0
+        self.worst_burn_tenant = ""
+        #: Contention seconds attributed per culprit tenant (slo-blame).
+        self.blame_seconds: Dict[str, float] = {}
         self._since_paint = 0
         self._painted_lines = 0
 
@@ -107,6 +116,22 @@ class TelemetryTop:
             self.retries += 1
         elif kind == "abandon":
             self.abandons += 1
+        elif kind == "slo-sample":
+            if event.attrs.get("ok"):
+                self.slo_ok += 1
+            else:
+                self.slo_violations += 1
+        elif kind == "slo-window":
+            burn = float(event.attrs.get("burn_rate", 0.0))
+            if burn > self.worst_burn:
+                self.worst_burn = burn
+                self.worst_burn_tenant = str(event.attrs.get("tenant", ""))
+        elif kind == "slo-blame":
+            culprit = str(event.attrs.get("culprit", ""))
+            seconds = float(event.attrs.get("seconds", 0.0))
+            self.blame_seconds[culprit] = (
+                self.blame_seconds.get(culprit, 0.0) + seconds
+            )
         self._since_paint += 1
         if self._since_paint >= self.refresh_events or kind in _REPAINT_KINDS:
             self.paint()
@@ -128,6 +153,30 @@ class TelemetryTop:
                 f"delivered {_fmt_bytes(self.delivered_bytes).strip()}"
             ),
         ]
+        if self.slo_ok or self.slo_violations or self.blame_seconds:
+            slo_column = f"slo {self.slo_ok} ok / {self.slo_violations} viol"
+            if self.worst_burn_tenant:
+                slo_column += (
+                    f"  worst burn {self.worst_burn:.1f}x"
+                    f" ({self.worst_burn_tenant})"
+                )
+            if self.blame_seconds:
+                total = sum(self.blame_seconds.values())
+                top_culprit = max(
+                    sorted(self.blame_seconds),
+                    key=lambda name: self.blame_seconds[name],
+                )
+                share = (
+                    self.blame_seconds[top_culprit] / total if total > 0 else 0.0
+                )
+                blame_column = (
+                    f"blame {top_culprit} "
+                    f"{self.blame_seconds[top_culprit]:.1f}s "
+                    f"({share * 100:.0f}%)"
+                )
+            else:
+                blame_column = "blame —"
+            lines.append(f"{slo_column}  {blame_column}")
         busiest = sorted(
             self.link_state.items(), key=lambda item: -item[1]
         )[: self.max_links]

@@ -476,6 +476,16 @@ class ServeScheduler:
                 dataset=record.dataset_id,
                 depth=len(self.tenants[record.tenant].queue),
             )
+            # Explicit admission-wait marker (schema v3): the queue wait
+            # starts here; serve-admit closes it with queue_seconds.
+            telemetry.emit(
+                "queue-enter",
+                t=arrival.time,
+                tenant=record.tenant,
+                query=arrival.index,
+                position=len(self.tenants[record.tenant].queue),
+                queued_total=self.tenants.queued,
+            )
 
     def _admit(
         self,
@@ -521,6 +531,16 @@ class ServeScheduler:
                     query=arrival.index,
                     dataset=record.dataset_id,
                     queue_seconds=clock - arrival.time,
+                )
+                # Explicit slot-wait marker (schema v3): how long the
+                # admitted query sat waiting for a free map slot.
+                telemetry.emit(
+                    "slot-wait",
+                    t=clock,
+                    tenant=tenant.name,
+                    query=arrival.index,
+                    seconds=start - clock,
+                    start=start,
                 )
                 telemetry.emit(
                     "serve-start",

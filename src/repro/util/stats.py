@@ -24,7 +24,17 @@ def stdev(values: Iterable[float]) -> float:
 
 
 def percentile(values: Sequence[float], pct: float) -> float:
-    """Linear-interpolated percentile, ``pct`` in [0, 100]."""
+    """Linear-interpolated percentile, ``pct`` in [0, 100].
+
+    Pinned edge behaviour (relied on by metrics and the SLO sketch
+    parity tests): empty input returns 0.0, a single sample is every
+    percentile of itself, ``pct`` outside [0, 100] clamps to the
+    min/max, and a NaN ``pct`` raises rather than silently producing a
+    NaN rank.
+    """
+    if math.isnan(pct):
+        raise ValueError("percentile rank must not be NaN")
+    pct = min(100.0, max(0.0, pct))
     items = sorted(values)
     if not items:
         return 0.0
@@ -36,7 +46,10 @@ def percentile(values: Sequence[float], pct: float) -> float:
     if low == high:
         return items[low]
     frac = rank - low
-    return items[low] * (1.0 - frac) + items[high] * frac
+    # Clamp: the lerp can escape [low, high] by one ulp when both ends
+    # are (nearly) equal subnormals.
+    value = items[low] * (1.0 - frac) + items[high] * frac
+    return min(max(value, items[low]), items[high])
 
 
 class RunningStats:
@@ -75,7 +88,9 @@ class RunningStats:
     def variance(self) -> float:
         if self.count < 2:
             return 0.0
-        return self._m2 / (self.count - 1)
+        # Welford's m2 can drift a hair below zero for near-constant
+        # streams; clamp so stdev never hits sqrt() of a negative.
+        return max(0.0, self._m2 / (self.count - 1))
 
     @property
     def stdev(self) -> float:

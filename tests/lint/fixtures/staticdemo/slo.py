@@ -1,0 +1,21 @@
+"""A second observer module shaped like an SLO/critical-path analyzer.
+
+Mirrors the real ``repro.obs.slo`` / ``repro.obs.critpath`` surface: it
+folds engine state into a summary.  The seeded violation is the classic
+analyzer sin — "normalizing" the thing it is measuring — which only the
+whole-program R011 pass can see (per-file rules have no roles).
+"""
+
+from staticdemo.sim import Engine
+
+
+def burn_rate(engine: Engine, budget: float) -> float:
+    return engine.ticks / budget if budget else 0.0
+
+
+def fold_sample(engine: Engine) -> float:
+    sample = engine.transferred_mb
+    # R011: an "observer" resetting a protected counter after reading it
+    # — the archive it feeds would no longer match a telemetry-off run.
+    engine.transferred_mb = 0.0
+    return sample

@@ -27,7 +27,7 @@ FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "staticdemo")
 
 ROLES = ProjectRoles(
     sim=("staticdemo.sim",),
-    observer=("staticdemo.view",),
+    observer=("staticdemo.view", "staticdemo.slo"),
     protected=("staticdemo.sim",),
 )
 
@@ -67,10 +67,33 @@ class TestFixtureDemos:
     def test_r011_flags_both_write_styles(self, demo):
         _, findings, _ = demo
         r011 = [f for f in findings if f.rule_id == "R011"]
-        assert _rule_files(r011, "R011") == ["view.py", "view.py"]
+        assert _rule_files(r011, "R011") == ["slo.py", "view.py", "view.py"]
         messages = " | ".join(f.message for f in r011)
         assert "writes attribute" in messages          # sample()
         assert "calls an engine/wan/core mutator" in messages  # refresh()
+
+    def test_r011_covers_analyzer_shaped_observer(self, demo):
+        # The slo.py fixture mirrors repro.obs.slo/critpath: a summary
+        # module that "normalizes" the engine state it measures.  R011
+        # must flag the reset but leave the pure burn_rate reader alone.
+        _, findings, _ = demo
+        (finding,) = [
+            f for f in findings
+            if f.rule_id == "R011" and f.path.endswith("slo.py")
+        ]
+        assert "writes attribute" in finding.message
+        assert "fold_sample" in finding.message
+
+    def test_default_roles_cover_new_obs_modules(self):
+        # The real role map already marks every repro.obs module as an
+        # observer, so the new analyzers are R011-protected by default.
+        from repro.lint.passes import DEFAULT_ROLES
+
+        for module in ("repro.obs.critpath", "repro.obs.slo"):
+            assert any(
+                module.startswith(prefix)
+                for prefix in DEFAULT_ROLES.observer
+            )
 
     def test_r011_pure_reader_not_flagged(self, demo):
         _, findings, _ = demo

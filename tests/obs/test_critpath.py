@@ -1,0 +1,217 @@
+"""Critical-path analyzer: conservation, determinism, blame attribution.
+
+The fixtures run the real serve loop at a deliberately contended scale
+(slow uplinks, high arrival rate, small cache) so queue waits, WAN
+contention, and cache hits all appear in one archive.  Everything the
+analyzer claims is cross-checked against the serve report and the
+sanitizer's ``critpath-conservation`` invariant.
+"""
+
+import math
+
+import pytest
+
+from repro.errors import InvariantViolation
+from repro.obs import instrument
+from repro.obs.critpath import (
+    COMPONENTS,
+    QueryPath,
+    analyze_critical_paths,
+    emit_blame,
+)
+from repro.obs.sanitize import Sanitizer
+from repro.obs.telemetry import EVENT_KINDS, TelemetryBus
+from repro.serve import ServeConfig, serve_workload
+from repro.systems.base import SystemConfig
+from repro.wan.presets import ec2_ten_sites
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.bigdata import bigdata_workload
+
+SPEC = WorkloadSpec(records_per_site=60, record_bytes=200_000, num_datasets=2)
+CONFIG = SystemConfig(lag_seconds=6.0, partition_records=8)
+SERVE = ServeConfig(
+    seed=11, num_tenants=3, num_queries=14, arrival_rate=4.0,
+    max_inflight=3, max_inflight_per_tenant=2, cache_capacity=2,
+    map_slots_per_site=1,
+)
+
+
+def run_recorded(serve_config=SERVE, scheme="centralized"):
+    # Centralized scheme (the default here): every query shuffles over
+    # the WAN at serve time, so queue waits and link contention occur.
+    topo = ec2_ten_sites(
+        base_uplink="1MB/s", machines=1, executors_per_machine=2
+    )
+
+    def factory():
+        return bigdata_workload(topo, seed=13, spec=SPEC, flavour="aggregation")
+
+    bus = TelemetryBus()
+    with instrument.instrumented(telemetry=bus):
+        report = serve_workload(scheme, factory, topo, CONFIG, serve_config)
+    return bus, report
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    bus, report = run_recorded()
+    return bus, report, analyze_critical_paths(bus.events)
+
+
+class TestConservation:
+    def test_components_sum_to_qct(self, recorded):
+        _, _, crit = recorded
+        assert crit.paths
+        assert crit.max_residual() <= 1e-9
+        for path in crit.paths:
+            assert math.isclose(path.total, path.qct, rel_tol=0, abs_tol=1e-9)
+
+    def test_components_non_negative(self, recorded):
+        _, _, crit = recorded
+        for path in crit.paths:
+            for name in COMPONENTS:
+                assert getattr(path, name) >= -1e-9, (path.index, name)
+
+    def test_every_query_covered_once(self, recorded):
+        _, report, crit = recorded
+        finished = {
+            query.index for query in report.queries
+            if query.status in ("executed", "cached")
+        }
+        assert {path.index for path in crit.paths} == finished
+        assert len(crit.paths) == len(finished)
+
+    def test_cached_queries_are_cache_bound(self):
+        # Bohr pre-places data and answers fast, so repeats under a
+        # light load actually hit the cube cache.
+        topo = ec2_ten_sites(
+            base_uplink="1MB/s", machines=1, executors_per_machine=2
+        )
+        light = WorkloadSpec(
+            records_per_site=30, record_bytes=100_000, num_datasets=2
+        )
+
+        def factory():
+            return bigdata_workload(
+                topo, seed=13, spec=light, flavour="aggregation"
+            )
+
+        bus = TelemetryBus()
+        with instrument.instrumented(telemetry=bus):
+            report = serve_workload(
+                "bohr", factory, topo, CONFIG,
+                ServeConfig(seed=11, num_tenants=3, num_queries=14,
+                            arrival_rate=4.0, cache_capacity=2),
+            )
+        crit = analyze_critical_paths(bus.events)
+        cached = {
+            query.index for query in report.queries if query.status == "cached"
+        }
+        assert cached, "fixture run must produce cache hits"
+        for path in crit.paths:
+            if path.index in cached:
+                assert path.bound == "cache"
+                assert path.cached_seconds == path.qct
+                assert path.contention_seconds == 0.0
+            else:
+                assert path.bound in ("wan", "compute")
+                assert path.cached_seconds == 0.0
+
+    def test_sanitizer_invariant_holds_in_raise_mode(self):
+        bus, _ = run_recorded()
+        sanitizer = Sanitizer(mode="raise")
+        with instrument.instrumented(sanitizer=sanitizer):
+            analyze_critical_paths(bus.events)
+        assert sanitizer.checks_run > 0
+        assert sanitizer.violations == []
+
+    def test_sanitizer_rejects_broken_path(self):
+        broken = QueryPath(
+            index=0, tenant="t", dataset="d", status="executed", bound="wan",
+            arrival=0.0, finish=10.0, qct=10.0,
+            queue_wait=1.0, slot_wait=1.0, map_seconds=1.0, wan_serial=1.0,
+            wan_contention=1.0, reduce_seconds=1.0, cached_seconds=0.0,
+        )  # sums to 6, not 10
+        with pytest.raises(InvariantViolation, match="critpath-conservation"):
+            Sanitizer(mode="raise").check_critical_path(broken)
+
+
+class TestDeterminism:
+    def test_same_seed_digest_identical(self, recorded):
+        _, _, crit = recorded
+        bus, _ = run_recorded()
+        again = analyze_critical_paths(bus.events)
+        assert again.digest() == crit.digest()
+
+    def test_digest_sensitive_to_paths(self, recorded):
+        _, _, crit = recorded
+        light = ServeConfig(seed=11, num_tenants=3, num_queries=6)
+        bus, _ = run_recorded(light)
+        assert analyze_critical_paths(bus.events).digest() != crit.digest()
+
+
+class TestBlame:
+    def test_blame_conserves_contention_seconds(self, recorded):
+        _, _, crit = recorded
+        blamed = math.fsum(
+            seconds
+            for culprits in crit.blame.values()
+            for seconds in culprits.values()
+        )
+        contended = math.fsum(
+            path.contention_seconds
+            for path in crit.paths
+            if path.contention_seconds > 1e-9
+        )
+        assert math.isclose(blamed, contended, rel_tol=1e-9, abs_tol=1e-6)
+
+    def test_contended_run_attributes_something(self, recorded):
+        _, _, crit = recorded
+        totals = crit.component_totals()
+        assert totals["queue_wait"] > 0.0
+        assert totals["wan_contention"] > 0.0
+        assert crit.blame
+
+    def test_query_blame_aggregates_to_matrix(self, recorded):
+        _, _, crit = recorded
+        rebuilt = {}
+        tenant_of = {path.index: path.tenant for path in crit.paths}
+        for query, culprits in crit.query_blame.items():
+            row = rebuilt.setdefault(tenant_of[query], {})
+            for culprit, seconds in culprits.items():
+                row[culprit] = row.get(culprit, 0.0) + seconds
+        assert set(rebuilt) == set(crit.blame)
+        for victim, culprits in crit.blame.items():
+            for culprit, seconds in culprits.items():
+                assert math.isclose(
+                    rebuilt[victim][culprit], seconds, rel_tol=1e-12
+                )
+
+    def test_emit_blame_round_trips_through_bus(self, recorded):
+        _, _, crit = recorded
+        bus = TelemetryBus()
+        emitted = emit_blame(crit, bus)
+        assert emitted == len(crit.query_blame)
+        assert all(event.kind in EVENT_KINDS for event in bus.events)
+        times = [event.t for event in bus.events]
+        assert times == sorted(times)
+        for event in bus.events:
+            assert 0.0 <= event.attrs["share"] <= 1.0 + 1e-12
+
+
+class TestReportShape:
+    def test_to_dict_is_json_ready(self, recorded):
+        import json
+
+        _, _, crit = recorded
+        payload = crit.to_dict()
+        json.dumps(payload)
+        assert payload["digest"] == crit.digest()
+        assert payload["max_residual"] <= 1e-9
+        assert set(payload["component_totals"]) == set(COMPONENTS)
+
+    def test_empty_stream_gives_empty_report(self):
+        crit = analyze_critical_paths([])
+        assert crit.paths == []
+        assert crit.blame == {}
+        assert crit.max_residual() == 0.0

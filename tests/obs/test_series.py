@@ -175,3 +175,65 @@ class TestFaultWindows:
             "fault": "link-degrade", "site": "b",
             "start": 1.0, "end": 3.0, "severity": 0.5,
         }
+
+
+class TestServeArchiveRollups:
+    """Derived series over a real multi-tenant serve archive.
+
+    The contended serve fixture from the critical-path tests doubles as
+    the rollup fixture here: concurrent tenants share WAN links, so flow
+    occupancy, link utilization, and the delivered-bytes curve all carry
+    signal (not just the single-query shapes the synthetic tests pin).
+    """
+
+    @pytest.fixture(scope="class")
+    def serve_events(self):
+        from tests.obs.test_critpath import run_recorded
+
+        bus, report = run_recorded()
+        return bus.events, report
+
+    def test_flow_occupancy_shows_concurrency(self, serve_events):
+        events, _ = serve_events
+        active, parked = flow_occupancy(events)
+        assert active.maximum() > 1.0  # tenants actually overlapped
+        assert active.integral() > 0.0
+        assert parked.maximum() >= 0.0
+        assert set(rollup(active)) == {"mean", "p50", "p99", "max"}
+
+    def test_delivered_bytes_match_flow_finishes(self, serve_events):
+        events, _ = serve_events
+        delivered, abandoned = cumulative_bytes(events)
+        assert abandoned == []  # chaos-free serve run abandons nothing
+        totals = [value for _t, value in delivered]
+        assert totals == sorted(totals)  # cumulative curve never dips
+        finished = sum(
+            float(event.attrs["num_bytes"])
+            for event in events
+            if event.kind == "flow-finish" and event.attrs.get("wan")
+        )
+        assert totals[-1] == pytest.approx(finished)
+
+    def test_delivered_bytes_cover_serve_report(self, serve_events):
+        # The archive sees every WAN flow (queries plus data movement),
+        # so its curve bounds the report's query-attributed bytes.
+        events, report = serve_events
+        delivered, _ = cumulative_bytes(events)
+        assert delivered[-1][1] >= report.total_wan_bytes - 1e-6
+        assert report.total_wan_bytes > 0.0
+
+    def test_link_utilization_bounded(self, serve_events):
+        events, _ = serve_events
+        utilization = link_utilization(events)
+        assert utilization  # WAN links were exercised
+        for series in utilization.values():
+            assert 0.0 <= series.maximum() <= 1.0 + 1e-9
+
+    def test_sim_horizon_covers_last_finish(self, serve_events):
+        events, _ = serve_events
+        last_finish = max(
+            float(event.t)
+            for event in events
+            if event.kind == "serve-finish"
+        )
+        assert sim_horizon(events) >= last_finish

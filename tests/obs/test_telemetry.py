@@ -141,7 +141,7 @@ class TestJsonlArchive:
         count = write_jsonl(bus, path)
         header, events = load_jsonl(path)
         assert count == len(bus.events)
-        assert header["version"] == 2
+        assert header["version"] == 3
         assert header["events"] == count
         assert events == bus.events
         assert telemetry_digest(events) == telemetry_digest(bus)

@@ -2,6 +2,7 @@
 
 import math
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -48,6 +49,28 @@ class TestPercentile:
     def test_single(self):
         assert percentile([7], 99) == 7
 
+    def test_out_of_range_rank_clamps(self):
+        data = [3, 1, 2]
+        assert percentile(data, -10) == 1
+        assert percentile(data, 250) == 3
+
+    def test_nan_rank_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            percentile([1.0, 2.0], float("nan"))
+
+    def test_unsorted_input_matches_sorted(self):
+        assert percentile([9, 1, 5, 3], 50) == percentile([1, 3, 5, 9], 50)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=40
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_property_within_data_range(self, values, pct):
+        result = percentile(values, pct)
+        assert min(values) <= result <= max(values)
+
 
 class TestRunningStats:
     def test_matches_batch(self):
@@ -69,3 +92,19 @@ class TestRunningStats:
         stats.extend(values)
         assert math.isclose(stats.mean, mean(values), rel_tol=1e-9, abs_tol=1e-6)
         assert math.isclose(stats.stdev, stdev(values), rel_tol=1e-6, abs_tol=1e-6)
+
+    def test_near_constant_stream_never_negative_variance(self):
+        # Welford m2 can land a hair below zero here; stdev must not
+        # raise on sqrt of a negative.
+        stats = RunningStats()
+        stats.extend([0.1] * 1000)
+        assert stats.variance >= 0.0
+        assert stats.stdev == 0.0
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.add(3.25)
+        assert stats.mean == 3.25
+        assert stats.variance == 0.0
+        assert stats.minimum == stats.maximum == 3.25
+        assert stats.summary() == [1, 3.25, 0.0, 3.25, 3.25]
